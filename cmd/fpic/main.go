@@ -1,0 +1,168 @@
+// Command fpic is the compiler driver: it compiles a mini-C source file to
+// the extended ISA, applying the selected partitioning scheme.
+//
+// Usage:
+//
+//	fpic [-scheme none|basic|advanced] [-dump-ir] [-dump-rdg] [-dump-partition] [-S] file.c
+//	fpic -example          # compile the paper's Figure 3 gcc fragment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpint/internal/bench"
+	"fpint/internal/codegen"
+	"fpint/internal/core"
+)
+
+const exampleSrc = `
+int regs_invalidated_by_call = 12297829382473034410;
+int reg_tick[66];
+int deleted;
+void delete_equiv_reg(int regno) { deleted += regno; }
+void invalidate_for_call() {
+	for (int regno = 0; regno < 66; regno++) {
+		if (regs_invalidated_by_call & (1 << regno)) {
+			delete_equiv_reg(regno);
+			if (reg_tick[regno] >= 0) reg_tick[regno]++;
+		}
+	}
+}
+int main() {
+	for (int i = 0; i < 66; i++) reg_tick[i] = i - 3;
+	invalidate_for_call();
+	return deleted;
+}
+`
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
+		dumpIR     = flag.Bool("dump-ir", false, "print the optimized IR")
+		dumpRDG    = flag.Bool("dump-rdg", false, "print each function's register dependence graph")
+		dumpPart   = flag.Bool("dump-partition", false, "print the partition assignment per RDG node")
+		dumpDot    = flag.Bool("dot", false, "emit the RDG with partition coloring as Graphviz digraphs")
+		asm        = flag.Bool("S", true, "print the generated assembly")
+		example    = flag.Bool("example", false, "compile the built-in Figure 3 example")
+		workload   = flag.String("workload", "", "compile a named built-in workload instead of a file")
+		ocopy      = flag.Float64("ocopy", 4, "copy overhead o_copy (paper: 3-6)")
+		odupl      = flag.Float64("odupl", 2, "duplicate overhead o_dupl (paper: 1.5-3)")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *example:
+		src = exampleSrc
+	case *workload != "":
+		w := bench.Lookup(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "fpic: unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+		src = w.Src
+	default:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: fpic [flags] file.c  (or -example / -workload NAME)")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	var scheme codegen.Scheme
+	switch *schemeName {
+	case "none":
+		scheme = codegen.SchemeNone
+	case "basic":
+		scheme = codegen.SchemeBasic
+	case "advanced":
+		scheme = codegen.SchemeAdvanced
+	case "balanced":
+		scheme = codegen.SchemeBalanced
+	default:
+		fmt.Fprintf(os.Stderr, "fpic: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
+		os.Exit(1)
+	}
+	if *dumpIR {
+		fmt.Println("==== optimized IR ====")
+		fmt.Print(mod.String())
+	}
+	if *dumpRDG || *dumpPart || *dumpDot {
+		for _, fn := range mod.Funcs {
+			g := core.BuildGraph(fn, prof)
+			if *dumpRDG {
+				fmt.Print(g.String())
+			}
+			if *dumpDot {
+				var p *core.Partition
+				switch scheme {
+				case codegen.SchemeBasic:
+					p = core.BasicPartition(g)
+				case codegen.SchemeAdvanced, codegen.SchemeBalanced:
+					p = core.AdvancedPartition(g, core.CostParams{OCopy: *ocopy, ODupl: *odupl})
+				}
+				fmt.Print(core.DotGraph(g, p))
+			}
+			if *dumpPart && scheme != codegen.SchemeNone {
+				var p *core.Partition
+				if scheme == codegen.SchemeBasic {
+					p = core.BasicPartition(g)
+				} else {
+					p = core.AdvancedPartition(g, core.CostParams{OCopy: *ocopy, ODupl: *odupl})
+				}
+				fmt.Printf("==== partition of %s (%s) ====\n", fn.Name, p.Scheme)
+				for _, n := range g.Nodes {
+					where := "FP "
+					if n.Class != core.ClassFixedFP {
+						where = p.Assign[n.ID].String()
+					}
+					extra := ""
+					if p.CopyNodes[n.ID] {
+						extra = " +copy"
+					}
+					if p.DupNodes[n.ID] {
+						extra = " +dup"
+					}
+					if p.OutCopyNodes[n.ID] {
+						extra += " +outcopy"
+					}
+					desc := "param"
+					if n.Instr != nil {
+						desc = n.Instr.String()
+					}
+					fmt.Printf("  n%-3d %-4s %-10s%s  %s\n", n.ID, where, n.Kind, extra, desc)
+				}
+			}
+		}
+	}
+
+	res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof,
+		Cost: core.CostParams{OCopy: *ocopy, ODupl: *odupl}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
+		os.Exit(1)
+	}
+	if *asm {
+		fmt.Println("==== assembly ====")
+		fmt.Print(res.Prog.Disassemble())
+	}
+	fmt.Printf("; scheme=%s  static instructions=%d\n", scheme, len(res.Prog.Insts))
+	for _, name := range bench.SortedFuncNames(res.Stats) {
+		st := res.Stats[name]
+		fmt.Printf(";   %-24s %4d insts, %d spill slots (%d reloads, %d stores)\n",
+			name, st.StaticInsts, st.SpillSlots, st.SpillLoads, st.SpillStores)
+	}
+}

@@ -1,0 +1,139 @@
+// Command fpisim compiles a mini-C program and runs it on the functional
+// simulator and, optionally, the cycle-level timing model of both machine
+// configurations.
+//
+// Usage:
+//
+//	fpisim [-scheme advanced] [-timing] [-config 4way|8way] file.c
+//	fpisim -workload compress -timing -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpint/internal/bench"
+	"fpint/internal/codegen"
+	"fpint/internal/sim"
+	"fpint/internal/uarch"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
+		timing     = flag.Bool("timing", false, "run the cycle-level timing model")
+		configName = flag.String("config", "4way", "machine configuration: 4way or 8way")
+		compare    = flag.Bool("compare", false, "run all three schemes and report speedups")
+		workload   = flag.String("workload", "", "run a named built-in workload instead of a file")
+		pipetrace  = flag.Int("pipetrace", 0, "with -timing: dump the pipeline journal of the first N instructions")
+		interproc  = flag.Bool("interproc", false, "enable the §6.6 interprocedural FP-argument extension")
+	)
+	flag.Parse()
+
+	var src string
+	if *workload != "" {
+		w := bench.Lookup(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "fpisim: unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+		src = w.Src
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: fpisim [flags] file.c  (or -workload NAME)")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	cfg := uarch.Config4Way()
+	if *configName == "8way" {
+		cfg = uarch.Config8Way()
+	}
+
+	schemes := map[string]codegen.Scheme{
+		"none": codegen.SchemeNone, "basic": codegen.SchemeBasic,
+		"advanced": codegen.SchemeAdvanced, "balanced": codegen.SchemeBalanced,
+	}
+	sch, ok := schemes[*schemeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fpisim: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	opts := codegen.Options{InterprocFPArgs: *interproc}
+
+	if *compare {
+		var baseCycles int64
+		for _, name := range []string{"none", "basic", "advanced"} {
+			cycles, offl := run(src, schemes[name], opts, cfg, true, 0)
+			if name == "none" {
+				baseCycles = cycles
+				fmt.Printf("%-10s cycles=%-10d offload=%4.1f%%\n", name, cycles, offl*100)
+				continue
+			}
+			fmt.Printf("%-10s cycles=%-10d offload=%4.1f%%  speedup=%+.1f%%\n",
+				name, cycles, offl*100, 100*(float64(baseCycles)/float64(cycles)-1))
+		}
+		return
+	}
+	run(src, sch, opts, cfg, *timing, *pipetrace)
+}
+
+func run(src string, sch codegen.Scheme, opts codegen.Options, cfg uarch.Config, timing bool, pipetrace int) (int64, float64) {
+	opts.Scheme = sch
+	res, _, err := codegen.CompileSource(src, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+		os.Exit(1)
+	}
+	if !timing {
+		out, err := sim.New(res.Prog).Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out.Output)
+		fmt.Printf("; exit=%d dynamic=%d offload=%.1f%% (INT=%d FP=%d FPa=%d)\n",
+			out.Ret, out.Stats.Total, 100*out.Stats.OffloadFraction(),
+			out.Stats.BySubsys[0], out.Stats.BySubsys[1], out.Stats.BySubsys[2])
+		return 0, out.Stats.OffloadFraction()
+	}
+	m := sim.New(res.Prog)
+	p := uarch.NewPipeline(cfg)
+	var journal *uarch.Journal
+	if pipetrace > 0 {
+		journal = p.AttachJournal(pipetrace)
+	}
+	m.Trace = p.Feed
+	out, err := m.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+		os.Exit(1)
+	}
+	st := p.Finish()
+	if journal != nil {
+		fmt.Print(journal.String())
+	}
+	fmt.Print(out.Output)
+	fmt.Printf("; exit=%d dynamic=%d cycles=%d IPC=%.2f offload=%.1f%%\n",
+		out.Ret, out.Stats.Total, st.Cycles, st.IPC(), 100*out.Stats.OffloadFraction())
+	fmt.Printf(";   bpred acc=%.3f  icache miss=%.4f  dcache miss=%.4f  int-idle/fpa-busy=%.3f\n",
+		1-float64(st.BpredMispredicts)/float64(max64(st.BpredLookups, 1)),
+		st.ICacheMissRate, st.DCacheMissRate,
+		float64(st.IntIdleFPaBusy)/float64(max64(st.Cycles, 1)))
+	return st.Cycles, out.Stats.OffloadFraction()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,14 @@
+// Package fpint is a from-scratch reproduction of "Exploiting Idle
+// Floating-Point Resources for Integer Execution" (Sastry, Palacharla,
+// Smith; PLDI 1998): the register-dependence-graph based basic and advanced
+// code-partitioning schemes (internal/core), a complete mini-C compiler
+// substrate (internal/lang, irgen, opt, codegen), an extended MIPS-like ISA
+// with the paper's 22 FPa opcodes (internal/isa), functional and
+// cycle-level out-of-order timing simulators (internal/sim,
+// internal/uarch), and the SPECint95/FP-style workload suite plus
+// experiment harness (internal/bench) that regenerates every table and
+// figure of the evaluation.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured-vs-paper results.
+package fpint

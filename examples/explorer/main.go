@@ -1,0 +1,83 @@
+// explorer sweeps design parameters around the paper's two machine
+// configurations on one workload: machine width (the Figure 9 vs Figure 10
+// contrast) and the cost-model constants o_copy/o_dupl (the §6.1 empirical
+// ranges), showing how offload and speedup respond.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fpint/internal/bench"
+	"fpint/internal/codegen"
+	"fpint/internal/core"
+	"fpint/internal/interp"
+	"fpint/internal/ir"
+	"fpint/internal/uarch"
+)
+
+func main() {
+	name := "gcc"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w := bench.Lookup(name)
+	if w == nil {
+		log.Fatalf("unknown workload %q", name)
+	}
+	mod, prof, err := codegen.FrontendPipeline(w.Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%s)\n\n", w.Name, w.Input)
+
+	fmt.Println("== machine-width sweep (advanced scheme) ==")
+	fmt.Printf("%-8s %12s %12s %9s %9s\n", "config", "base cycles", "adv cycles", "speedup", "IPC(adv)")
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		base := timeIt(mod, prof, codegen.Options{Scheme: codegen.SchemeNone}, cfg)
+		adv := timeIt(mod, prof, codegen.Options{Scheme: codegen.SchemeAdvanced}, cfg)
+		fmt.Printf("%-8s %12d %12d %+8.1f%% %9.2f\n", cfg.Name,
+			base.cycles, adv.cycles, 100*(float64(base.cycles)/float64(adv.cycles)-1), adv.ipc)
+	}
+
+	fmt.Println("\n== cost-model sweep (o_copy × o_dupl, 4-way, advanced scheme) ==")
+	fmt.Printf("%-14s %9s %9s %8s %8s\n", "o_copy/o_dupl", "offload", "speedup", "copies", "dups")
+	base := timeIt(mod, prof, codegen.Options{Scheme: codegen.SchemeNone}, uarch.Config4Way())
+	for _, oc := range []float64{3, 4, 6} {
+		for _, od := range []float64{1.5, 2, 3} {
+			opts := codegen.Options{Scheme: codegen.SchemeAdvanced, Cost: core.CostParams{OCopy: oc, ODupl: od}}
+			r := timeIt(mod, prof, opts, uarch.Config4Way())
+			fmt.Printf("%4.1f / %-6.1f %8.1f%% %+8.1f%% %8d %8d\n",
+				oc, od, 100*r.offload, 100*(float64(base.cycles)/float64(r.cycles)-1), r.copies, r.dups)
+		}
+	}
+}
+
+type timing struct {
+	cycles  int64
+	ipc     float64
+	offload float64
+	copies  int64
+	dups    int64
+}
+
+func timeIt(mod *ir.Module, prof *interp.Profile, opts codegen.Options, cfg uarch.Config) timing {
+	opts.Profile = prof
+	res, err := codegen.Compile(mod, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, st, err := uarch.Run(res.Prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return timing{
+		cycles:  st.Cycles,
+		ipc:     st.IPC(),
+		offload: out.Stats.OffloadFraction(),
+		copies:  out.Stats.Copies,
+		dups:    out.Stats.Dups,
+	}
+}

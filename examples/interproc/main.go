@@ -1,0 +1,70 @@
+// interproc demonstrates the §6.6 interprocedural extension: passing
+// integer arguments in floating-point registers when both the producer (at
+// every call site) and the consumer (inside the callee) live in FPa. The
+// demo compiles the same call-dense kernel with the extension off and on
+// and reports copies, offload, and cycles on the 4-way machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpint/internal/codegen"
+	"fpint/internal/uarch"
+)
+
+const src = `
+int out[256];
+
+// classify consumes its argument in pure branch computation — FPa work.
+int classify(int v) {
+	int c = 0;
+	if (v > 192) c = 3;
+	else if (v > 128) c = 2;
+	else if (v > 64) c = 1;
+	return c;
+}
+
+int main() {
+	int s = 0;
+	for (int rep = 0; rep < 30; rep++) {
+		for (int i = 0; i < 256; i++) {
+			int x = out[i];
+			int y = (x ^ ((rep << 5) + rep)) + (x >> 2); // produced in FPa
+			s += classify(y & 255);       // §6.4 forces copies... unless FP-passed
+			out[i] = y & 1023;
+		}
+	}
+	return s & 1048575;
+}
+`
+
+func main() {
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("calling convention for classify(v):")
+	for _, ipa := range []bool{false, true} {
+		res, err := codegen.Compile(mod, codegen.Options{
+			Scheme: codegen.SchemeAdvanced, Profile: prof, InterprocFPArgs: ipa,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, st, err := uarch.Run(res.Prog, uarch.Config4Way())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "integer registers (paper's §6.4 baseline)"
+		if ipa {
+			mode = "FP registers   (§6.6 interprocedural extension)"
+		}
+		fmt.Printf("\n  %s\n", mode)
+		fmt.Printf("    exit=%d  dynamic copies=%d  offload=%.1f%%  cycles=%d  IPC=%.2f\n",
+			out.Ret, out.Stats.Copies, 100*out.Stats.OffloadFraction(), st.Cycles, st.IPC())
+	}
+	fmt.Println("\nThe FPa→INT copy at each call site and the INT→FPa copy at each")
+	fmt.Println("entry collapse into one FP-file move (mov,a), so copy traffic and")
+	fmt.Println("cycles both drop while the offloaded fraction grows.")
+}

@@ -1,0 +1,3 @@
+module fpint
+
+go 1.22

@@ -1,0 +1,408 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fpint/internal/codegen"
+	"fpint/internal/core"
+	"fpint/internal/interp"
+	"fpint/internal/ir"
+	"fpint/internal/sim"
+	"fpint/internal/uarch"
+)
+
+// Measurement is the outcome of running one workload under one scheme on
+// one machine configuration.
+type Measurement struct {
+	Workload string
+	Scheme   codegen.Scheme
+	Config   string
+
+	Ret                int64
+	DynInstrs          int64
+	OffloadFrac        float64 // fraction of dynamic instructions executed in FPa
+	Copies             int64
+	Dups               int64
+	Loads              int64
+	Stores             int64
+	Cycles             int64
+	IPC                float64
+	IntIdleFPaBusyFrac float64
+	BpredAccuracy      float64
+	DCacheMissRate     float64
+}
+
+// Suite compiles and runs workloads, caching frontend results (the IR and
+// the self-profile) per workload so repeated measurements stay cheap.
+type Suite struct {
+	mu    sync.Mutex
+	front map[string]*frontRes
+}
+
+type frontRes struct {
+	mod  *ir.Module
+	prof *interp.Profile
+	ref  *interp.Result
+}
+
+// NewSuite returns an empty measurement cache.
+func NewSuite() *Suite {
+	return &Suite{front: make(map[string]*frontRes)}
+}
+
+func (s *Suite) frontend(w *Workload) (*frontRes, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fr, ok := s.front[w.Name]; ok {
+		return fr, nil
+	}
+	mod, prof, err := codegen.FrontendPipeline(w.Src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: reference run: %w", w.Name, err)
+	}
+	s.front[w.Name] = &frontRes{mod: mod, prof: prof, ref: ref}
+	return s.front[w.Name], nil
+}
+
+// Compile builds the workload under the scheme, verifying functional
+// equivalence with the IR interpreter.
+func (s *Suite) Compile(w *Workload, scheme codegen.Scheme) (*codegen.Result, error) {
+	fr, err := s.frontend(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := codegen.Compile(fr.mod, codegen.Options{Scheme: scheme, Profile: fr.prof})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", w.Name, scheme, err)
+	}
+	return res, nil
+}
+
+// Measure runs the workload under scheme on cfg and cross-checks the
+// functional result against the IR interpreter reference.
+func (s *Suite) Measure(w *Workload, scheme codegen.Scheme, cfg uarch.Config) (*Measurement, error) {
+	fr, err := s.frontend(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Compile(w, scheme)
+	if err != nil {
+		return nil, err
+	}
+	out, st, err := uarch.Run(res.Prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", w.Name, scheme, err)
+	}
+	if out.Ret != fr.ref.Ret || out.Output != fr.ref.Output {
+		return nil, fmt.Errorf("%s/%s: functional mismatch: got %d want %d", w.Name, scheme, out.Ret, fr.ref.Ret)
+	}
+	m := &Measurement{
+		Workload:       w.Name,
+		Scheme:         scheme,
+		Config:         cfg.Name,
+		Ret:            out.Ret,
+		DynInstrs:      out.Stats.Total,
+		OffloadFrac:    out.Stats.OffloadFraction(),
+		Copies:         out.Stats.Copies,
+		Dups:           out.Stats.Dups,
+		Loads:          out.Stats.Loads,
+		Stores:         out.Stats.Stores,
+		Cycles:         st.Cycles,
+		IPC:            st.IPC(),
+		BpredAccuracy:  1,
+		DCacheMissRate: st.DCacheMissRate,
+	}
+	if st.BpredLookups > 0 {
+		m.BpredAccuracy = 1 - float64(st.BpredMispredicts)/float64(st.BpredLookups)
+	}
+	if st.Cycles > 0 {
+		m.IntIdleFPaBusyFrac = float64(st.IntIdleFPaBusy) / float64(st.Cycles)
+	}
+	return m, nil
+}
+
+// SpeedupRow is one bar of Figures 9/10.
+type SpeedupRow struct {
+	Workload    string
+	BasicPct    float64 // speedup % of the basic scheme over conventional
+	AdvancedPct float64
+	BaseCycles  int64
+	BasicCycles int64
+	AdvCycles   int64
+}
+
+// FigureSpeedups computes speedups (Figures 9 and 10) for the given
+// workloads on cfg.
+func (s *Suite) FigureSpeedups(ws []Workload, cfg uarch.Config) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for i := range ws {
+		w := &ws[i]
+		base, err := s.Measure(w, codegen.SchemeNone, cfg)
+		if err != nil {
+			return nil, err
+		}
+		basic, err := s.Measure(w, codegen.SchemeBasic, cfg)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := s.Measure(w, codegen.SchemeAdvanced, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpeedupRow{
+			Workload:    w.Name,
+			BasicPct:    100 * (float64(base.Cycles)/float64(basic.Cycles) - 1),
+			AdvancedPct: 100 * (float64(base.Cycles)/float64(adv.Cycles) - 1),
+			BaseCycles:  base.Cycles,
+			BasicCycles: basic.Cycles,
+			AdvCycles:   adv.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// PartitionRow is one pair of bars of Figure 8.
+type PartitionRow struct {
+	Workload    string
+	BasicPct    float64 // % of dynamic instructions executed in FPa
+	AdvancedPct float64
+}
+
+// FigurePartitionSizes computes Figure 8 (the size of the FPa partition as
+// a percentage of total dynamic instructions) for the given workloads.
+// Offload percentages are a property of the binary, so any machine
+// configuration gives the same numbers; the functional simulator suffices.
+func (s *Suite) FigurePartitionSizes(ws []Workload) ([]PartitionRow, error) {
+	var rows []PartitionRow
+	for i := range ws {
+		w := &ws[i]
+		basic, err := s.runFunctional(w, codegen.SchemeBasic)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := s.runFunctional(w, codegen.SchemeAdvanced)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PartitionRow{
+			Workload:    w.Name,
+			BasicPct:    100 * basic.Stats.OffloadFraction(),
+			AdvancedPct: 100 * adv.Stats.OffloadFraction(),
+		})
+	}
+	return rows, nil
+}
+
+func (s *Suite) runFunctional(w *Workload, scheme codegen.Scheme) (*sim.Result, error) {
+	fr, err := s.frontend(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Compile(w, scheme)
+	if err != nil {
+		return nil, err
+	}
+	out, err := sim.New(res.Prog).Run()
+	if err != nil {
+		return nil, err
+	}
+	if out.Ret != fr.ref.Ret {
+		return nil, fmt.Errorf("%s/%s: functional mismatch", w.Name, scheme)
+	}
+	return out, nil
+}
+
+// OverheadRow quantifies §7.2's overhead discussion for one workload.
+type OverheadRow struct {
+	Workload        string
+	DynGrowthPct    float64 // increase in dynamic instructions, advanced vs base
+	CopyPct         float64 // copies as % of baseline dynamic instructions
+	DupPct          float64
+	StaticGrowthPct float64
+}
+
+// Overheads measures the §7.2 numbers for the given workloads.
+func (s *Suite) Overheads(ws []Workload) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for i := range ws {
+		w := &ws[i]
+		base, err := s.runFunctional(w, codegen.SchemeNone)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := s.runFunctional(w, codegen.SchemeAdvanced)
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := s.Compile(w, codegen.SchemeNone)
+		if err != nil {
+			return nil, err
+		}
+		advRes, err := s.Compile(w, codegen.SchemeAdvanced)
+		if err != nil {
+			return nil, err
+		}
+		baseStatic, advStatic := 0, 0
+		for _, st := range baseRes.Stats {
+			baseStatic += st.StaticInsts
+		}
+		for _, st := range advRes.Stats {
+			advStatic += st.StaticInsts
+		}
+		rows = append(rows, OverheadRow{
+			Workload:        w.Name,
+			DynGrowthPct:    100 * (float64(adv.Stats.Total)/float64(base.Stats.Total) - 1),
+			CopyPct:         100 * float64(adv.Stats.Copies) / float64(base.Stats.Total),
+			DupPct:          100 * float64(adv.Stats.Dups) / float64(base.Stats.Total),
+			StaticGrowthPct: 100 * (float64(advStatic)/float64(baseStatic) - 1),
+		})
+	}
+	return rows, nil
+}
+
+// LoadChangeRow quantifies the §6.6 register-pressure effect: the change in
+// dynamic loads+stores between the baseline and the advanced scheme
+// (spill/reload and save/restore differences).
+type LoadChangeRow struct {
+	Workload     string
+	LoadDeltaPct float64
+}
+
+// LoadChanges measures the §6.6 numbers.
+func (s *Suite) LoadChanges(ws []Workload) ([]LoadChangeRow, error) {
+	var rows []LoadChangeRow
+	for i := range ws {
+		w := &ws[i]
+		base, err := s.runFunctional(w, codegen.SchemeNone)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := s.runFunctional(w, codegen.SchemeAdvanced)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LoadChangeRow{
+			Workload:     w.Name,
+			LoadDeltaPct: 100 * (float64(adv.Stats.Loads)/float64(base.Stats.Loads) - 1),
+		})
+	}
+	return rows, nil
+}
+
+// SliceRow reports computational-slice weights (§3/§4): the LdSt slice
+// should be near 50% of dynamic instructions for integer codes.
+type SliceRow struct {
+	Workload    string
+	LdStPct     float64
+	BranchPct   float64
+	StoreValPct float64
+}
+
+// SliceStats computes profile-weighted slice sizes across each workload's
+// functions.
+func (s *Suite) SliceStats(ws []Workload) ([]SliceRow, error) {
+	var rows []SliceRow
+	for i := range ws {
+		w := &ws[i]
+		fr, err := s.frontend(w)
+		if err != nil {
+			return nil, err
+		}
+		var total, ldst, br, sv float64
+		for _, fn := range fr.mod.Funcs {
+			g := core.BuildGraph(fn, fr.prof)
+			st := g.ComputeSliceStats()
+			total += st.TotalWeight
+			ldst += st.LdStWeight
+			br += st.BranchWeight
+			sv += st.StoreValWeight
+		}
+		if total == 0 {
+			total = 1
+		}
+		rows = append(rows, SliceRow{
+			Workload:    w.Name,
+			LdStPct:     100 * ldst / total,
+			BranchPct:   100 * br / total,
+			StoreValPct: 100 * sv / total,
+		})
+	}
+	return rows, nil
+}
+
+// IntWorkloads returns the SPECint95 stand-ins.
+func IntWorkloads() []Workload {
+	var out []Workload
+	for _, w := range Workloads() {
+		if w.Class == "int" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// FpWorkloads returns the floating-point programs (§7.5).
+func FpWorkloads() []Workload {
+	var out []Workload
+	for _, w := range Workloads() {
+		if w.Class == "fp" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// FormatTable renders rows of columns with aligned widths.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// SortedFuncNames returns a deterministic ordering of a stats map's keys.
+func SortedFuncNames(m map[string]*codegen.FuncStat) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

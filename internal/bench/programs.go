@@ -1,0 +1,803 @@
+// Package bench provides the synthetic workloads standing in for the
+// paper's SPECint95 / SPEC FP benchmarks, and the experiment harness that
+// regenerates every table and figure of the evaluation section.
+//
+// Each workload is written in the mini-C source language and is modeled on
+// the hot kernels of its namesake (see DESIGN.md §2 for the substitution
+// argument): what matters for the partitioning algorithms is the shape of
+// the register dependence graph — the split between the LdSt slice and the
+// branch/store-value slices, call density, and loop structure.
+package bench
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name  string
+	Class string // "int" or "fp"
+	Input string // description for Table 2
+	Src   string
+}
+
+// Workloads returns the full suite: the seven SPECint95 stand-ins followed
+// by the floating-point programs used in §7.5.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "compress", Class: "int", Input: "synthetic 12000-symbol stream (LCG source)", Src: srcCompress},
+		{Name: "gcc", Class: "int", Input: "synthetic 480-insn function, 40 passes", Src: srcGcc},
+		{Name: "go", Class: "int", Input: "19x19 board, 60 evaluation sweeps", Src: srcGo},
+		{Name: "ijpeg", Class: "int", Input: "96x96 synthetic image, forward DCT+quant", Src: srcIjpeg},
+		{Name: "li", Class: "int", Input: "2200-node expression heap, 60 eval rounds", Src: srcLi},
+		{Name: "m88ksim", Class: "int", Input: "synthetic 88k program, 30000 simulated insns", Src: srcM88ksim},
+		{Name: "perl", Class: "int", Input: "dictionary of 600 packed words, 120 lookups/word", Src: srcPerl},
+
+		{Name: "ear", Class: "fp", Input: "8-channel filterbank, 6000 samples", Src: srcEar},
+		{Name: "swim", Class: "fp", Input: "64x64 shallow-water stencil, 40 steps", Src: srcSwim},
+		{Name: "tomcatv", Class: "fp", Input: "64x64 mesh smoothing, 40 iterations", Src: srcTomcatv},
+		{Name: "alvinn", Class: "fp", Input: "32-16-8 network, 300 forward passes", Src: srcAlvinn},
+		{Name: "hydro2d", Class: "fp", Input: "48x48 grid, 50 hydro steps", Src: srcHydro2d},
+	}
+}
+
+// Lookup returns the workload with the given name, or nil.
+func Lookup(name string) *Workload {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			w := w
+			return &w
+		}
+	}
+	return nil
+}
+
+// srcCompress models SPECint95 129.compress: an LZW-flavored coder over a
+// synthetic symbol stream. It includes a memory-free pseudo-random
+// generator, reproducing the §6.6 observation that the greedy schemes move
+// such functions to FPa wholesale.
+const srcCompress = `
+int seed;
+int inbuf[12000];
+int outcodes[12000];
+int htab[4096];
+int codetab[4096];
+int nextcode;
+int outcount;
+
+int rnd() {
+	seed = seed * 1103515245 + 12345;
+	int a = (seed >> 16) & 32767;
+	int b = (a >> 7) ^ (a & 127);
+	return b & 255;
+}
+
+void gen_input() {
+	int i = 0;
+	while (i < 12000) {
+		int c = rnd();
+		int run = (c & 7) + 1;
+		for (int k = 0; k < run && i < 12000; k++) {
+			inbuf[i] = c & 63;
+			i++;
+		}
+	}
+}
+
+int hashf(int prefix, int c) {
+	return ((prefix << 5) ^ (c << 1) ^ (prefix >> 7)) & 4095;
+}
+
+void compressit() {
+	for (int i = 0; i < 4096; i++) { htab[i] = -1; codetab[i] = 0; }
+	nextcode = 64;
+	outcount = 0;
+	int prefix = inbuf[0];
+	for (int i = 1; i < 12000; i++) {
+		int c = inbuf[i];
+		int h = hashf(prefix, c);
+		int probes = 0;
+		int found = -1;
+		while (htab[h] >= 0 && probes < 8) {
+			if (htab[h] == ((prefix << 8) | c)) { found = codetab[h]; break; }
+			h = (h + 1) & 4095;
+			probes++;
+		}
+		if (found >= 0) {
+			prefix = found;
+		} else {
+			outcodes[outcount] = prefix;
+			outcount++;
+			if (htab[h] < 0 && nextcode < 4000) {
+				htab[h] = (prefix << 8) | c;
+				codetab[h] = nextcode;
+				nextcode++;
+			}
+			prefix = c;
+		}
+	}
+	outcodes[outcount] = prefix;
+	outcount++;
+}
+
+int main() {
+	seed = 987654321;
+	gen_input();
+	compressit();
+	int check = 0;
+	for (int i = 0; i < outcount; i++) check = (check * 31 + outcodes[i]) & 16777215;
+	return check ^ outcount;
+}
+`
+
+// srcGcc models SPECint95 126.gcc: dataflow-ish bookkeeping passes over a
+// pseudo-RTL instruction array, including the paper's own
+// invalidate_for_call example (Figure 3) verbatim in spirit.
+const srcGcc = `
+int regs_invalidated_by_call = 12297829382473034410;
+int reg_tick[66];
+int insn_op[480];
+int insn_dst[480];
+int insn_src[480];
+int reg_val[66];
+int reg_known[66];
+int deleted;
+int folded;
+int threaded;
+
+void delete_equiv_reg(int regno) { deleted += regno; }
+
+void invalidate_for_call() {
+	for (int regno = 0; regno < 66; regno++) {
+		if (regs_invalidated_by_call & (1 << regno)) {
+			delete_equiv_reg(regno);
+			if (reg_tick[regno] >= 0) reg_tick[regno]++;
+		}
+	}
+}
+
+void gen_function(int pass) {
+	int s = pass * 2654435761 + 12345;
+	for (int i = 0; i < 480; i++) {
+		s = s * 1103515245 + 12345;
+		insn_op[i] = (s >> 16) & 7;
+		insn_dst[i] = (s >> 20) & 63;
+		insn_src[i] = (s >> 26) & 63;
+	}
+}
+
+void const_prop() {
+	for (int i = 0; i < 66; i++) { reg_val[i] = 0; reg_known[i] = 0; }
+	for (int i = 0; i < 480; i++) {
+		int op = insn_op[i];
+		int d = insn_dst[i];
+		int srcr = insn_src[i];
+		if (op == 0) {
+			reg_val[d] = srcr;
+			reg_known[d] = 1;
+		} else if (op == 1) {
+			if (reg_known[srcr]) {
+				reg_val[d] = reg_val[srcr] + 1;
+				reg_known[d] = 1;
+				folded++;
+			} else reg_known[d] = 0;
+		} else if (op == 2) {
+			if (reg_known[d] && reg_known[srcr]) {
+				reg_val[d] = reg_val[d] ^ reg_val[srcr];
+				folded++;
+			} else reg_known[d] = 0;
+		} else if (op == 3) {
+			invalidate_for_call();
+			reg_known[d] = 0;
+		} else {
+			if (reg_tick[d & 63] > 4) threaded++;
+			reg_known[d] = 0;
+		}
+	}
+}
+
+int main() {
+	for (int i = 0; i < 66; i++) reg_tick[i] = i - 3;
+	for (int pass = 0; pass < 40; pass++) {
+		gen_function(pass);
+		const_prop();
+	}
+	int s = deleted + folded * 7 + threaded * 13;
+	for (int i = 0; i < 66; i++) s += reg_tick[i];
+	return s & 16777215;
+}
+`
+
+// srcGo models SPECint95 099.go: branchy board evaluation — neighbor
+// scans, liberty counting, and influence spreading on a 19x19 board.
+const srcGo = `
+int board[441];
+int libs[441];
+int infl[441];
+int seed;
+
+int rnd() {
+	seed = seed * 69069 + 1;
+	return (seed >> 16) & 32767;
+}
+
+void setup() {
+	for (int i = 0; i < 441; i++) { board[i] = 0; infl[i] = 0; }
+	for (int p = 0; p < 441; p++) {
+		int r = rnd();
+		if ((r & 7) < 2) board[p] = 1 + (r & 1);
+	}
+}
+
+void count_liberties() {
+	for (int p = 0; p < 441; p++) {
+		if (board[p] == 0) { libs[p] = 0; continue; }
+		int row = p / 21;
+		int col = p % 21;
+		int n = 0;
+		if (row > 0 && board[p-21] == 0) n++;
+		if (row < 20 && board[p+21] == 0) n++;
+		if (col > 0 && board[p-1] == 0) n++;
+		if (col < 20 && board[p+1] == 0) n++;
+		libs[p] = n;
+	}
+}
+
+void spread_influence() {
+	for (int p = 21; p < 420; p++) {
+		int v = 0;
+		if (board[p] == 1) v = 64;
+		else if (board[p] == 2) v = -64;
+		int acc = infl[p] * 3 + v * 4;
+		acc += infl[p-1] + infl[p+1] + infl[p-21] + infl[p+21];
+		acc = acc >> 3;
+		if (acc > 127) acc = 127;
+		if (acc < -127) acc = -127;
+		infl[p] = acc;
+	}
+}
+
+int score() {
+	int s = 0;
+	for (int p = 0; p < 441; p++) {
+		if (board[p] == 1 && libs[p] <= 1) s -= 5;
+		else if (board[p] == 2 && libs[p] <= 1) s += 5;
+		if (infl[p] > 16) s += 1;
+		else if (infl[p] < -16) s -= 1;
+	}
+	return s;
+}
+
+int main() {
+	seed = 424242;
+	int total = 0;
+	for (int sweep = 0; sweep < 60; sweep++) {
+		setup();
+		count_liberties();
+		for (int k = 0; k < 6; k++) spread_influence();
+		total += score();
+		total = total & 16777215;
+	}
+	return total;
+}
+`
+
+// srcIjpeg models SPECint95 132.ijpeg: an add/shift integer forward DCT
+// butterfly plus quantization over a synthetic image. Store-value slices
+// dominate, so the offload potential is the largest in the suite.
+const srcIjpeg = `
+int image[9216];
+int block[64];
+int coef[64];
+int quant[9216];
+int seed;
+
+void gen_image() {
+	seed = 555;
+	for (int i = 0; i < 9216; i++) {
+		seed = seed * 1103515245 + 12345;
+		int x = i % 96;
+		int y = i / 96;
+		image[i] = ((x*3 + y*5) & 127) + ((seed >> 20) & 63);
+	}
+}
+
+void fdct_rows() {
+	for (int r = 0; r < 8; r++) {
+		int base = r * 8;
+		int a0 = block[base+0]; int a1 = block[base+1];
+		int a2 = block[base+2]; int a3 = block[base+3];
+		int a4 = block[base+4]; int a5 = block[base+5];
+		int a6 = block[base+6]; int a7 = block[base+7];
+		int s07 = a0 + a7; int d07 = a0 - a7;
+		int s16 = a1 + a6; int d16 = a1 - a6;
+		int s25 = a2 + a5; int d25 = a2 - a5;
+		int s34 = a3 + a4; int d34 = a3 - a4;
+		int t0 = s07 + s34; int t3 = s07 - s34;
+		int t1 = s16 + s25; int t2 = s16 - s25;
+		block[base+0] = t0 + t1;
+		block[base+4] = t0 - t1;
+		block[base+2] = t3 + (t2 >> 1);
+		block[base+6] = (t3 >> 1) - t2;
+		block[base+1] = d07 + (d16 >> 1) + (d25 >> 2);
+		block[base+3] = d16 - (d34 >> 1) + (d07 >> 2);
+		block[base+5] = d25 + (d07 >> 1) - (d16 >> 2);
+		block[base+7] = d34 - (d25 >> 1) + (d16 >> 3);
+	}
+}
+
+void fdct_cols() {
+	for (int c = 0; c < 8; c++) {
+		int a0 = block[c]; int a1 = block[c+8];
+		int a2 = block[c+16]; int a3 = block[c+24];
+		int a4 = block[c+32]; int a5 = block[c+40];
+		int a6 = block[c+48]; int a7 = block[c+56];
+		int s07 = a0 + a7; int d07 = a0 - a7;
+		int s16 = a1 + a6; int d16 = a1 - a6;
+		int s25 = a2 + a5; int d25 = a2 - a5;
+		int s34 = a3 + a4; int d34 = a3 - a4;
+		int t0 = s07 + s34; int t3 = s07 - s34;
+		int t1 = s16 + s25; int t2 = s16 - s25;
+		coef[c] = (t0 + t1) >> 3;
+		coef[c+32] = (t0 - t1) >> 3;
+		coef[c+16] = (t3 + (t2 >> 1)) >> 3;
+		coef[c+48] = ((t3 >> 1) - t2) >> 3;
+		coef[c+8]  = (d07 + (d16 >> 1)) >> 3;
+		coef[c+24] = (d16 - (d34 >> 1)) >> 3;
+		coef[c+40] = (d25 + (d07 >> 2)) >> 3;
+		coef[c+56] = (d34 - (d25 >> 2)) >> 3;
+	}
+}
+
+int main() {
+	gen_image();
+	int check = 0;
+	for (int by = 0; by < 12; by++) {
+		for (int bx = 0; bx < 12; bx++) {
+			for (int y = 0; y < 8; y++)
+				for (int x = 0; x < 8; x++)
+					block[y*8+x] = image[(by*8+y)*96 + bx*8 + x] - 128;
+			fdct_rows();
+			fdct_cols();
+			for (int i = 0; i < 64; i++) {
+				int q = coef[i];
+				int scale = 1 + (i >> 3);
+				if (q < 0) q = -((-q) >> scale); else q = q >> scale;
+				quant[(by*12+bx)*64 + i] = q;
+				check = (check + q) & 16777215;
+			}
+		}
+	}
+	return check;
+}
+`
+
+// srcLi models SPECint95 130.li: a small lisp-style evaluator over cons cells
+// with many small functions and a high call density — which is exactly why
+// the advanced scheme gains little over basic on li (§7.2).
+const srcLi = `
+int car_[2200];
+int cdr_[2200];
+int tag_[2200];
+int val_[2200];
+int heap_next;
+int seed;
+
+int rnd() { seed = seed * 69069 + 7; return (seed >> 16) & 32767; }
+
+int cons(int a, int d) {
+	int c = heap_next;
+	heap_next++;
+	car_[c] = a;
+	cdr_[c] = d;
+	tag_[c] = 0;
+	return c;
+}
+
+int atom(int v) {
+	int c = heap_next;
+	heap_next++;
+	tag_[c] = 1;
+	val_[c] = v;
+	return c;
+}
+
+int is_atom(int c) { return tag_[c] == 1; }
+int value_of(int c) { return val_[c]; }
+int head(int c) { return car_[c]; }
+int tail(int c) { return cdr_[c]; }
+
+int build(int depth) {
+	if (depth <= 0) return atom(rnd() & 1023);
+	int op = rnd() & 3;
+	int l = build(depth - 1);
+	int r = build(depth - 2);
+	return cons(op + 1024, cons(l, cons(r, -1)));
+}
+
+int evals;
+int atom_hits;
+
+int eval(int e) {
+	evals++;
+	if (is_atom(e)) { atom_hits++; return value_of(e); }
+	int op = head(e);
+	int args = tail(e);
+	int a = eval(head(args));
+	int b = eval(head(tail(args)));
+	if (op == 1024) return (a + b) & 1048575;
+	if (op == 1025) return (a - b) & 1048575;
+	if (op == 1026) return (a ^ b);
+	return (a > b) ? a : b;
+}
+
+int main() {
+	seed = 31337;
+	int total = 0;
+	for (int round = 0; round < 60; round++) {
+		heap_next = 0;
+		int e = build(7);
+		total = (total + eval(e)) & 16777215;
+	}
+	return total + heap_next + (evals & 4095) + (atom_hits & 511);
+}
+`
+
+// srcM88ksim models SPECint95 124.m88ksim: an instruction-set simulator
+// main loop — fetch, field decode, dispatch, architectural state update.
+// Decode (shift/mask/compare chains) offloads well, but the simulated
+// register file keeps the loads/stores in INT, producing the paper's
+// load-imbalance behavior.
+const srcM88ksim = `
+int progmem[4096];
+int regs[32];
+int simpc;
+int icount;
+int taken_branches;
+int seed;
+
+void load_program() {
+	seed = 777;
+	for (int i = 0; i < 4096; i++) {
+		seed = seed * 1103515245 + 12345;
+		progmem[i] = seed & 1073741823;
+	}
+}
+
+int main() {
+	load_program();
+	for (int i = 0; i < 32; i++) regs[i] = i * 17;
+	simpc = 0;
+	icount = 0;
+	taken_branches = 0;
+	while (icount < 30000) {
+		int inst = progmem[simpc & 4095];
+		int opc = (inst >> 26) & 15;
+		int rd = (inst >> 21) & 31;
+		int rs1 = (inst >> 16) & 31;
+		int rs2 = (inst >> 11) & 31;
+		int imm = inst & 2047;
+		int nextpc = simpc + 1;
+		if (opc < 4) {
+			regs[rd] = regs[rs1] + regs[rs2];
+		} else if (opc < 6) {
+			regs[rd] = regs[rs1] ^ (regs[rs2] >> 1);
+		} else if (opc < 8) {
+			regs[rd] = regs[rs1] + imm;
+		} else if (opc < 9) {
+			regs[rd] = (regs[rs1] << 2) | (imm & 3);
+		} else if (opc < 11) {
+			if (regs[rs1] > regs[rs2]) { nextpc = simpc + (imm & 63) - 32; taken_branches++; }
+		} else if (opc < 12) {
+			if ((regs[rs1] & 1) == 0) { nextpc = simpc + 2; taken_branches++; }
+		} else if (opc < 14) {
+			regs[rd] = regs[rs1] & regs[rs2];
+		} else {
+			regs[rd] = imm << 5;
+		}
+		regs[0] = 0;
+		if (nextpc < 0) nextpc = 0;
+		simpc = nextpc;
+		icount++;
+	}
+	int s = taken_branches;
+	for (int i = 0; i < 32; i++) s = (s * 31 + regs[i]) & 16777215;
+	return s;
+}
+`
+
+// srcPerl models SPECint95 134.perl (scrabbl.pl): hashing packed words into
+// a dictionary, probing, and branchy scoring.
+const srcPerl = `
+int dict[2048];
+int dval[2048];
+int words[600];
+int scores[600];
+int seed;
+
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+int hashw(int w) {
+	int h = w;
+	h = h ^ (h >> 7);
+	h = (h * 31 + 17) & 1048575;
+	h = h ^ (h >> 11);
+	return h & 2047;
+}
+
+int collisions;
+int nletters;
+int bonuses;
+
+int lookup_insert(int w) {
+	int h = hashw(w);
+	int probes = 0;
+	while (probes < 16) {
+		if (dict[h] == 0) { dict[h] = w; dval[h] = (w & 255) + probes; return dval[h]; }
+		if (dict[h] == w) return dval[h];
+		collisions++;
+		h = (h + probes + 1) & 2047;
+		probes++;
+	}
+	return 0;
+}
+
+int letter_score(int c) {
+	int v = c & 31;
+	if (v < 8) return 1;
+	if (v < 14) return 2;
+	if (v < 19) return 3;
+	if (v < 24) return 5;
+	return 8;
+}
+
+int main() {
+	seed = 13579;
+	for (int i = 0; i < 600; i++) {
+		int w = 0;
+		for (int k = 0; k < 5; k++) w = (w << 6) | (rnd() & 31);
+		words[i] = w + 1;
+	}
+	int total = 0;
+	for (int rep = 0; rep < 120; rep++) {
+		for (int i = 0; i < 600; i++) {
+			int w = words[i];
+			int base = lookup_insert(w);
+			int sc = base;
+			int t = w;
+			while (t != 0) {
+				sc += letter_score(t);
+				nletters++;
+				t = t >> 6;
+			}
+			if ((sc & 3) == 0) { sc += 7; bonuses++; }
+			scores[i] = sc;
+			total = (total + sc) & 16777215;
+		}
+	}
+	int s = total + collisions + (nletters & 65535) + bonuses;
+	for (int i = 0; i < 600; i += 37) s ^= scores[i];
+	return s & 16777215;
+}
+`
+
+// srcEar models SPEC92 ear: a floating-point filterbank whose peak-picking
+// and adaptation control is integer branch/store-value work — the one FP
+// program where the paper measured a large (18%) offload and speedup.
+const srcEar = `
+float state1[8];
+float state2[8];
+float coefa[8];
+float coefb[8];
+float samples[6000];
+int peaks[8];
+int peakpos[512];
+int npeaks;
+int seed;
+
+int rnd() { seed = seed * 69069 + 5; return (seed >> 16) & 32767; }
+
+void setup() {
+	for (int c = 0; c < 8; c++) {
+		state1[c] = 0.0;
+		state2[c] = 0.0;
+		coefa[c] = 0.9 - (float) c * 0.05;
+		coefb[c] = 0.1 + (float) c * 0.02;
+		peaks[c] = 0;
+	}
+	for (int i = 0; i < 6000; i++) {
+		int r = (rnd() & 255) - 128;
+		samples[i] = (float) r * 0.0078;
+	}
+	npeaks = 0;
+}
+
+int main() {
+	seed = 2468;
+	setup();
+	int hist = 0;
+	for (int i = 0; i < 6000; i++) {
+		float x = samples[i];
+		for (int c = 0; c < 8; c++) {
+			float y = coefa[c] * state1[c] - coefb[c] * state2[c] + x;
+			state2[c] = state1[c];
+			state1[c] = y;
+			int level = 0;
+			if (y > 0.5) level = 2;
+			else if (y > 0.1) level = 1;
+			else if (y < -0.5) level = -2;
+			else if (y < -0.1) level = -1;
+			hist = ((hist << 1) ^ level) & 65535;
+			if (level == 2 || level == -2) {
+				peaks[c]++;
+				if (npeaks < 512 && (peaks[c] & 7) == 0) {
+					peakpos[npeaks] = (i << 3) | c;
+					npeaks++;
+				}
+			}
+		}
+	}
+	int s = hist;
+	for (int c = 0; c < 8; c++) s = (s * 31 + peaks[c]) & 16777215;
+	for (int k = 0; k < npeaks; k++) s ^= peakpos[k];
+	return s & 16777215;
+}
+`
+
+// srcSwim models SPEC95 102.swim: a pure floating-point stencil with almost
+// no offloadable integer work — the schemes should be ~neutral.
+const srcSwim = `
+float u[4096];
+float v[4096];
+float unew[4096];
+int main() {
+	for (int i = 0; i < 4096; i++) {
+		u[i] = (float) ((i * 7) % 100) * 0.01;
+		v[i] = (float) ((i * 13) % 100) * 0.01;
+	}
+	for (int step = 0; step < 40; step++) {
+		for (int y = 1; y < 63; y++) {
+			for (int x = 1; x < 63; x++) {
+				int p = y * 64 + x;
+				unew[p] = (u[p-1] + u[p+1] + u[p-64] + u[p+64]) * 0.25
+					+ v[p] * 0.0625;
+			}
+		}
+		for (int y = 1; y < 63; y++)
+			for (int x = 1; x < 63; x++) {
+				int p = y * 64 + x;
+				u[p] = unew[p];
+			}
+	}
+	float s = 0.0;
+	for (int i = 0; i < 4096; i++) s += u[i];
+	return (int) (s * 1000.0) & 16777215;
+}
+`
+
+// srcTomcatv models SPEC95 101.tomcatv: float mesh relaxation with residual
+// tracking; again nearly all FP with addressing-only integer work.
+const srcTomcatv = `
+float xm[4096];
+float ym[4096];
+float rx[4096];
+float ry[4096];
+int main() {
+	for (int i = 0; i < 4096; i++) {
+		xm[i] = (float) (i % 64) * 0.1;
+		ym[i] = (float) (i / 64) * 0.1;
+	}
+	float resid = 0.0;
+	for (int iter = 0; iter < 40; iter++) {
+		resid = 0.0;
+		for (int y = 1; y < 63; y++) {
+			for (int x = 1; x < 63; x++) {
+				int p = y * 64 + x;
+				float dx = (xm[p-1] + xm[p+1] + xm[p-64] + xm[p+64]) * 0.25 - xm[p];
+				float dy = (ym[p-1] + ym[p+1] + ym[p-64] + ym[p+64]) * 0.25 - ym[p];
+				rx[p] = dx;
+				ry[p] = dy;
+				if (dx > 0.0) resid += dx; else resid -= dx;
+				if (dy > 0.0) resid += dy; else resid -= dy;
+			}
+		}
+		for (int y = 1; y < 63; y++)
+			for (int x = 1; x < 63; x++) {
+				int p = y * 64 + x;
+				xm[p] = xm[p] + rx[p] * 0.9;
+				ym[p] = ym[p] + ry[p] * 0.9;
+			}
+	}
+	return (int) (resid * 100.0) & 16777215;
+}
+`
+
+// srcAlvinn models SPEC92 alvinn: neural-network forward passes — float
+// dot products with a small integer argmax/bookkeeping tail. Mostly FP
+// work; the integer offload opportunity is minor, as §7.5 expects.
+const srcAlvinn = `
+float w1[512];
+float w2[128];
+float input[32];
+float hidden[16];
+float output[8];
+int votes[8];
+int seed;
+
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+void setup() {
+	for (int i = 0; i < 512; i++) w1[i] = (float)((i * 13) % 64) * 0.01 - 0.3;
+	for (int i = 0; i < 128; i++) w2[i] = (float)((i * 29) % 64) * 0.01 - 0.3;
+	for (int i = 0; i < 8; i++) votes[i] = 0;
+}
+
+void forward() {
+	for (int h = 0; h < 16; h++) {
+		float s = 0.0;
+		for (int i = 0; i < 32; i++) s += w1[h*32+i] * input[i];
+		if (s < 0.0) s = s * 0.25; // leaky activation
+		hidden[h] = s;
+	}
+	for (int o = 0; o < 8; o++) {
+		float s = 0.0;
+		for (int h = 0; h < 16; h++) s += w2[o*16+h] * hidden[h];
+		output[o] = s;
+	}
+}
+
+int argmax() {
+	int best = 0;
+	for (int o = 1; o < 8; o++)
+		if (output[o] > output[best]) best = o;
+	return best;
+}
+
+int main() {
+	seed = 4242;
+	setup();
+	for (int pass = 0; pass < 300; pass++) {
+		for (int i = 0; i < 32; i++)
+			input[i] = (float)((rnd() & 255) - 128) * 0.0078;
+		forward();
+		votes[argmax()]++;
+	}
+	int s = 0;
+	for (int o = 0; o < 8; o++) s = (s * 31 + votes[o]) & 16777215;
+	return s;
+}
+`
+
+// srcHydro2d models SPEC95 104.hydro2d: a float grid relaxation with flux
+// limiting — almost purely FP, so the schemes should be neutral.
+const srcHydro2d = `
+float rho[2304];
+float mom[2304];
+float fluxr[2304];
+float fluxm[2304];
+int main() {
+	for (int i = 0; i < 2304; i++) {
+		rho[i] = 1.0 + (float)((i * 11) % 37) * 0.01;
+		mom[i] = (float)((i * 7) % 23) * 0.05 - 0.5;
+	}
+	for (int step = 0; step < 50; step++) {
+		for (int y = 1; y < 47; y++) {
+			for (int x = 1; x < 47; x++) {
+				int p = y * 48 + x;
+				float dr = rho[p+1] - rho[p-1];
+				float dm = mom[p+1] - mom[p-1];
+				if (dr > 0.2) dr = 0.2;
+				if (dr < -0.2) dr = -0.2;
+				fluxr[p] = mom[p] - dr * 0.125;
+				fluxm[p] = mom[p] * mom[p] / rho[p] + dm * 0.0625;
+			}
+		}
+		for (int y = 1; y < 47; y++) {
+			for (int x = 1; x < 47; x++) {
+				int p = y * 48 + x;
+				rho[p] = rho[p] - (fluxr[p+1] - fluxr[p-1]) * 0.01;
+				mom[p] = mom[p] - (fluxm[p+1] - fluxm[p-1]) * 0.01;
+			}
+		}
+	}
+	float s = 0.0;
+	for (int i = 0; i < 2304; i++) s += rho[i];
+	return (int)(s * 100.0) & 16777215;
+}
+`

@@ -1,0 +1,260 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/interp"
+	"fpint/internal/sim"
+)
+
+// crossCheck compiles src under all three schemes and verifies that each
+// compiled program produces exactly the IR interpreter's result and output.
+func crossCheck(t *testing.T, name, src string) {
+	t.Helper()
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		t.Fatalf("%s: frontend: %v", name, err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatalf("%s: interp: %v", name, err)
+	}
+	for _, scheme := range []codegen.Scheme{codegen.SchemeNone, codegen.SchemeBasic, codegen.SchemeAdvanced} {
+		res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof})
+		if err != nil {
+			t.Fatalf("%s/%s: compile: %v", name, scheme, err)
+		}
+		m := sim.New(res.Prog)
+		out, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s/%s: run: %v\n%s", name, scheme, err, res.Prog.Disassemble())
+		}
+		if out.Ret != ref.Ret {
+			t.Errorf("%s/%s: ret = %d, interp says %d", name, scheme, out.Ret, ref.Ret)
+		}
+		if out.Output != ref.Output {
+			t.Errorf("%s/%s: output = %q, interp says %q", name, scheme, out.Output, ref.Output)
+		}
+	}
+}
+
+func TestCrossCheckBasics(t *testing.T) {
+	crossCheck(t, "const", `int main() { return 42; }`)
+	crossCheck(t, "arith", `
+int main() {
+	int a = 7; int b = 3;
+	return a*b + a/b - a%b + (a<<b) + (a>>1) + (a&b) + (a|b) + (a^b) + ~a + -b;
+}`)
+	crossCheck(t, "loop", `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 100; i++) s += i;
+	return s;
+}`)
+}
+
+func TestCrossCheckMemory(t *testing.T) {
+	crossCheck(t, "globals", `
+int total;
+int a[64];
+int main() {
+	for (int i = 0; i < 64; i++) a[i] = i*i;
+	total = 0;
+	for (int i = 0; i < 64; i++) total += a[i];
+	return total & 65535;
+}`)
+	crossCheck(t, "init", `
+int k = 5;
+int tab[4] = {10, 20, 30, 40};
+int main() { return k + tab[2] + tab[3]; }`)
+	crossCheck(t, "localarr", `
+int sum3(int v[]) { return v[0] + v[1] + v[2]; }
+int main() {
+	int buf[3];
+	buf[0] = 4; buf[1] = 8; buf[2] = 15;
+	return sum3(buf);
+}`)
+}
+
+func TestCrossCheckCalls(t *testing.T) {
+	crossCheck(t, "fib", `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main() { return fib(15); }`)
+	crossCheck(t, "multiarg", `
+int mix(int a, int b, int c, int d) { return a*1000 + b*100 + c*10 + d; }
+int main() { return mix(1, 2, 3, 4); }`)
+	crossCheck(t, "callintense", `
+int g;
+int bump(int x) { g += x; return g; }
+int main() {
+	int s = 0;
+	for (int i = 0; i < 40; i++) s += bump(i & 7);
+	return s & 1048575;
+}`)
+}
+
+func TestCrossCheckGccFragment(t *testing.T) {
+	crossCheck(t, "gcc", `
+int regs_invalidated_by_call = 12297829382473034410;
+int reg_tick[66];
+int deleted;
+void delete_equiv_reg(int regno) { deleted += regno; }
+void invalidate_for_call() {
+	for (int regno = 0; regno < 66; regno++) {
+		if (regs_invalidated_by_call & (1 << regno)) {
+			delete_equiv_reg(regno);
+			if (reg_tick[regno] >= 0) reg_tick[regno]++;
+		}
+	}
+}
+int main() {
+	for (int i = 0; i < 66; i++) reg_tick[i] = i - 3;
+	invalidate_for_call();
+	int s = deleted;
+	for (int i = 0; i < 66; i++) s += reg_tick[i];
+	return s;
+}`)
+}
+
+func TestCrossCheckFloats(t *testing.T) {
+	crossCheck(t, "fpsum", `
+float a[32];
+float b[32];
+float c[32];
+int main() {
+	for (int i = 0; i < 32; i++) { a[i] = (float) i; b[i] = (float) (i*2); }
+	for (int i = 0; i < 32; i++) c[i] = a[i] + b[i];
+	float s = 0.0;
+	for (int i = 0; i < 32; i++) s += c[i];
+	return (int) s;
+}`)
+	crossCheck(t, "fmix", `
+float scale(float x, float k) { return x * k; }
+int main() {
+	float s = 0.5;
+	int n = 0;
+	for (int i = 1; i <= 10; i++) {
+		s = scale(s, 1.5);
+		if (s > 5.0) n++;
+	}
+	return n * 100 + (int) s;
+}`)
+}
+
+func TestCrossCheckPrint(t *testing.T) {
+	crossCheck(t, "print", `
+int main() {
+	for (int i = 0; i < 5; i++) print(i*i);
+	printf_(3.25);
+	return 0;
+}`)
+}
+
+func TestCrossCheckRandLikeFunction(t *testing.T) {
+	crossCheck(t, "rand", `
+int seed;
+int rnd() {
+	seed = seed * 1103515245 + 12345;
+	return (seed >> 16) & 32767;
+}
+int main() {
+	seed = 42;
+	int s = 0;
+	for (int i = 0; i < 500; i++) s ^= rnd();
+	return s;
+}`)
+}
+
+func TestCrossCheckSpillPressure(t *testing.T) {
+	// Force many simultaneously-live values to exercise the spiller.
+	crossCheck(t, "pressure", `
+int main() {
+	int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+	int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+	int k = 11; int l = 12; int m = 13; int n = 14; int o = 15;
+	int p = 16; int q = 17; int r = 18; int s = 19; int t = 20;
+	int u = 21; int v = 22; int w = 23; int x = 24; int y = 25;
+	int total = 0;
+	for (int it = 0; it < 10; it++) {
+		total += a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+s+t+u+v+w+x+y;
+		a++; b+=2; c+=3; d+=4; e+=5; f+=6; g+=7; h+=8; i+=9; j+=10;
+		k++; l+=2; m+=3; n+=4; o+=5; p+=6; q+=7; r+=8; s+=9; t+=10;
+		u++; v+=2; w+=3; x+=4; y+=5;
+	}
+	return total + a + y;
+}`)
+}
+
+func TestCrossCheckShortCircuitAndTernary(t *testing.T) {
+	crossCheck(t, "logic", `
+int g;
+int bump() { g++; return 0; }
+int main() {
+	g = 0;
+	int acc = 0;
+	for (int i = 0; i < 20; i++) {
+		if (i > 3 && i < 15 || i == 1) acc += i;
+		acc += (i % 3 == 0) ? 2 : 1;
+		if (i > 100 && bump()) acc = 9999;
+	}
+	return acc * 100 + g;
+}`)
+}
+
+func TestStatsAndOffload(t *testing.T) {
+	src := `
+int regs = 12297829382473034410;
+int tick[66];
+int main() {
+	int hits = 0;
+	for (int rep = 0; rep < 20; rep++)
+		for (int r = 0; r < 66; r++)
+			if (regs & (1 << r)) {
+				if (tick[r] >= 0) tick[r]++;
+				hits++;
+			}
+	return hits;
+}`
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(scheme codegen.Scheme) *sim.Result {
+		res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		out, err := sim.New(res.Prog).Run()
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		return out
+	}
+	base := run(codegen.SchemeNone)
+	basic := run(codegen.SchemeBasic)
+	adv := run(codegen.SchemeAdvanced)
+
+	if base.Stats.OffloadFraction() != 0 {
+		t.Errorf("baseline offloaded %f", base.Stats.OffloadFraction())
+	}
+	if basic.Stats.OffloadFraction() <= 0 {
+		t.Errorf("basic scheme offloaded nothing")
+	}
+	if adv.Stats.OffloadFraction() < basic.Stats.OffloadFraction() {
+		t.Errorf("advanced offload %.3f < basic %.3f",
+			adv.Stats.OffloadFraction(), basic.Stats.OffloadFraction())
+	}
+	if basic.Stats.Copies != 0 || basic.Stats.Dups != 0 {
+		t.Errorf("basic scheme executed transfers: %d copies, %d dups",
+			basic.Stats.Copies, basic.Stats.Dups)
+	}
+	// §7.2: the advanced scheme's dynamic-instruction overhead stays small.
+	growth := float64(adv.Stats.Total-base.Stats.Total) / float64(base.Stats.Total)
+	if growth > 0.10 {
+		t.Errorf("advanced scheme grew dynamic instructions by %.1f%%", growth*100)
+	}
+}

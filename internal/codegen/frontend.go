@@ -1,0 +1,40 @@
+package codegen
+
+import (
+	"fmt"
+
+	"fpint/internal/interp"
+	"fpint/internal/ir"
+	"fpint/internal/irgen"
+	"fpint/internal/lang"
+	"fpint/internal/opt"
+)
+
+// FrontendPipeline runs parse → check → lower → optimize and produces a
+// self-profile by executing the optimized IR once (the profile-guided cost
+// model's input, standing in for the paper's training runs — the workloads
+// are deterministic, so self-profiling is faithful).
+func FrontendPipeline(src string) (*ir.Module, *interp.Profile, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := lang.Check(prog); err != nil {
+		return nil, nil, fmt.Errorf("check: %w", err)
+	}
+	mod, err := irgen.Lower(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lower: %w", err)
+	}
+	opt.Optimize(mod)
+	for _, fn := range mod.Funcs {
+		if err := fn.Verify(); err != nil {
+			return nil, nil, fmt.Errorf("verify: %w", err)
+		}
+	}
+	res, err := interp.New(mod).Run()
+	if err != nil {
+		return nil, nil, fmt.Errorf("profile run: %w", err)
+	}
+	return mod, res.Profile, nil
+}

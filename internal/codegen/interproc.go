@@ -1,0 +1,123 @@
+package codegen
+
+import (
+	"fpint/internal/core"
+	"fpint/internal/ir"
+)
+
+// FPArgPlan records, per function, which integer parameters are passed in
+// floating-point registers instead of integer registers — the
+// interprocedural improvement §6.6 sketches ("it might be possible to
+// reduce some of the copy overheads across calls by passing integer
+// arguments in floating-point registers").
+//
+// A parameter qualifies when (a) the callee's partition wants the value in
+// FPa (the parameter dummy node carries an INT→FPa copy), and (b) at every
+// call site in the module, every reaching producer of that argument is
+// FPa-resident. Then the caller's FPa→INT copy and the callee's INT→FPa
+// copy both collapse into a single FP-file move.
+type FPArgPlan struct {
+	byFunc map[string][]bool
+}
+
+// FPPassed reports whether argument i of fn travels in an FP register.
+func (p *FPArgPlan) FPPassed(fn string, i int) bool {
+	if p == nil {
+		return false
+	}
+	args := p.byFunc[fn]
+	return i < len(args) && args[i]
+}
+
+// planFPArgs computes the plan for a module given every function's RDG and
+// partition (nil entries disable the function).
+func planFPArgs(mod *ir.Module, graphs map[string]*core.Graph, parts map[string]*core.Partition) *FPArgPlan {
+	plan := &FPArgPlan{byFunc: make(map[string][]bool)}
+
+	// Candidates: parameters whose dummy node carries an INT→FPa copy.
+	called := make(map[string]bool)
+	for _, fn := range mod.Funcs {
+		p := parts[fn.Name]
+		g := graphs[fn.Name]
+		if p == nil || g == nil {
+			continue
+		}
+		cand := make([]bool, len(fn.Params))
+		for id := range p.CopyNodes {
+			n := g.Nodes[id]
+			if n.Kind == core.KindParam && fn.VRegType(fn.Params[n.ParamIdx]) == ir.I64 {
+				cand[n.ParamIdx] = true
+			}
+		}
+		plan.byFunc[fn.Name] = cand
+	}
+
+	// Veto pass over every call site: each argument must be produced
+	// entirely in FPa wherever the function is called.
+	for _, fn := range mod.Funcs {
+		p := parts[fn.Name]
+		g := graphs[fn.Name]
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				cand, ok := plan.byFunc[in.Sym]
+				if !ok {
+					continue // builtin or unknown
+				}
+				called[in.Sym] = true
+				for i := range cand {
+					if !cand[i] {
+						continue
+					}
+					if p == nil || g == nil {
+						cand[i] = false
+						continue
+					}
+					producers, argOK := g.ArgProducers(in, i)
+					if !argOK || len(producers) == 0 {
+						cand[i] = false
+						continue
+					}
+					for _, prod := range producers {
+						if !p.InFPa(prod) {
+							cand[i] = false
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Functions never called keep int passing; enforce the FP argument
+	// register budget (float parameters claim slots first, in order).
+	for _, fn := range mod.Funcs {
+		cand := plan.byFunc[fn.Name]
+		if cand == nil {
+			continue
+		}
+		if !called[fn.Name] {
+			for i := range cand {
+				cand[i] = false
+			}
+			continue
+		}
+		fpSlots := 0
+		for i, pv := range fn.Params {
+			if fn.VRegType(pv) == ir.F64 {
+				fpSlots++
+				continue
+			}
+			if cand[i] {
+				if fpSlots >= maxRegArgs {
+					cand[i] = false
+					continue
+				}
+				fpSlots++
+			}
+		}
+	}
+	return plan
+}

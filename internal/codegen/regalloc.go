@@ -1,0 +1,498 @@
+package codegen
+
+import (
+	"sort"
+
+	"fpint/internal/isa"
+)
+
+// Register pools per class. Argument/return registers (A0–A3, V0, F0,
+// F12–F15) and scratch registers are excluded so short physical live ranges
+// around calls never conflict with allocations.
+var (
+	intCallerSaved = []int{8, 9, 10, 11, 12, 13, 14, 15, 24, 25, 3, 28, 30}
+	intCalleeSaved = []int{16, 17, 18, 19, 20, 21, 22, 23}
+	fpCallerSaved  = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 24, 25, 26, 27, 28, 29}
+	fpCalleeSaved  = []int{16, 17, 18, 19, 20, 21, 22, 23}
+)
+
+// Spill scratch registers per class.
+const (
+	intScratch1 = isa.RegAT // spilled rs
+	intScratch2 = isa.RegK0 // spilled rt
+	intScratchD = isa.RegK1 // spilled rd
+	fpScratch1  = isa.FRegS0
+	fpScratch2  = isa.FRegS1
+)
+
+// interval is a live interval of one virtual register in linear position
+// space.
+type interval struct {
+	vreg       int
+	start, end int
+	uses       int // static def/use occurrences (spill-cost proxy)
+	crossCall  bool
+	reg        int // assigned physical register, or -1 when spilled
+	slot       int // spill slot index when spilled
+}
+
+// allocResult is the outcome of allocation for one register class.
+type allocResult struct {
+	assign     map[int]int   // virtual -> physical
+	spillSlot  map[int]int   // virtual -> spill slot index (within class-shared space)
+	remat      map[int]minst // virtual -> constant-materializing template
+	usedCallee []int
+}
+
+// regalloc allocates both register files of f and rewrites its blocks,
+// returning the number of spill slots consumed and the callee-saved
+// registers used. Spill slots are shared across classes (each slot is one
+// 8-byte word).
+type regallocStats struct {
+	SpillSlots    int
+	SpillLoads    int // static count of inserted reload instructions
+	SpillStores   int
+	UsedCalleeInt []int
+	UsedCalleeFp  []int
+}
+
+func regalloc(f *mfunc) regallocStats {
+	nextSlot := 0
+	stats := regallocStats{}
+	for _, class := range []isa.RegClass{isa.IntReg, isa.FpReg} {
+		// Linear positions: posAt[bi][ii] is the position of instruction
+		// ii of block bi. Recomputed per class because the previous class's
+		// spill rewrite may have inserted instructions.
+		posAt := make([][]int, len(f.blocks))
+		blockStart := make(map[int]int) // block id -> first position
+		blockEnd := make(map[int]int)
+		pos := 0
+		for bi, b := range f.blocks {
+			blockStart[b.id] = pos
+			posAt[bi] = make([]int, len(b.insts))
+			for ii := range b.insts {
+				posAt[bi][ii] = pos
+				pos++
+			}
+			if len(b.insts) == 0 {
+				pos++ // phantom position so empty blocks have a span
+			}
+			blockEnd[b.id] = pos - 1
+		}
+		var callPositions []int
+		for bi, b := range f.blocks {
+			for ii, m := range b.insts {
+				if m.op == isa.JAL {
+					callPositions = append(callPositions, posAt[bi][ii])
+				}
+			}
+		}
+		res := allocateClass(f, class, posAt, blockStart, blockEnd, callPositions, &nextSlot)
+		if class == isa.IntReg {
+			stats.UsedCalleeInt = res.usedCallee
+		} else {
+			stats.UsedCalleeFp = res.usedCallee
+		}
+		l, s := rewrite(f, class, res)
+		stats.SpillLoads += l
+		stats.SpillStores += s
+	}
+	stats.SpillSlots = nextSlot
+	f.spillWords = int64(nextSlot)
+	return stats
+}
+
+// classOperands returns the (field, class, isDef) triples of an instruction
+// restricted to virtual registers of the wanted class.
+type operandRef struct {
+	val   *int
+	isDef bool
+}
+
+func virtOperands(m *minst, class isa.RegClass) []operandRef {
+	rdC, rsC, rtC := regClasses(m.op)
+	dDef, sUse, tUse := defsUses(m.op)
+	var out []operandRef
+	if sUse && rsC == class && m.rs >= firstVirtual {
+		out = append(out, operandRef{&m.rs, false})
+	}
+	if tUse && rtC == class && m.rt >= firstVirtual {
+		out = append(out, operandRef{&m.rt, false})
+	}
+	if dDef && rdC == class && m.rd >= firstVirtual {
+		out = append(out, operandRef{&m.rd, true})
+	}
+	return out
+}
+
+// rematCandidates finds virtual registers of the class whose single
+// definition materializes a constant (LI/LIA/LID): spilling them needs no
+// stack slot — the constant is re-materialized at each use, as production
+// register allocators do.
+func rematCandidates(f *mfunc, class isa.RegClass) map[int]minst {
+	defCount := make(map[int]int)
+	tmpl := make(map[int]minst)
+	for _, b := range f.blocks {
+		for ii := range b.insts {
+			m := &b.insts[ii]
+			for _, op := range virtOperands(m, class) {
+				if !op.isDef {
+					continue
+				}
+				defCount[*op.val]++
+				switch m.op {
+				case isa.LI, isa.LIA, isa.LID:
+					tmpl[*op.val] = *m
+				default:
+					delete(tmpl, *op.val)
+				}
+			}
+		}
+	}
+	out := make(map[int]minst)
+	for v, t := range tmpl {
+		if defCount[v] == 1 {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+func allocateClass(f *mfunc, class isa.RegClass, posAt [][]int,
+	blockStart, blockEnd map[int]int, callPositions []int, nextSlot *int) allocResult {
+
+	rematable := rematCandidates(f, class)
+
+	// Block-level liveness of virtual registers.
+	use := make(map[int]map[int]bool)
+	def := make(map[int]map[int]bool)
+	liveIn := make(map[int]map[int]bool)
+	liveOut := make(map[int]map[int]bool)
+	blockByID := make(map[int]*mblock)
+	for _, b := range f.blocks {
+		blockByID[b.id] = b
+		u := make(map[int]bool)
+		d := make(map[int]bool)
+		for ii := range b.insts {
+			m := &b.insts[ii]
+			for _, op := range virtOperands(m, class) {
+				if op.isDef {
+					d[*op.val] = true
+				} else if !d[*op.val] {
+					u[*op.val] = true
+				}
+			}
+		}
+		use[b.id] = u
+		def[b.id] = d
+		liveIn[b.id] = make(map[int]bool)
+		liveOut[b.id] = make(map[int]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.blocks) - 1; i >= 0; i-- {
+			b := f.blocks[i]
+			out := make(map[int]bool)
+			for _, sid := range b.succs {
+				for v := range liveIn[sid] {
+					out[v] = true
+				}
+			}
+			liveOut[b.id] = out
+			in := make(map[int]bool)
+			for v := range out {
+				if !def[b.id][v] {
+					in[v] = true
+				}
+			}
+			for v := range use[b.id] {
+				in[v] = true
+			}
+			if len(in) != len(liveIn[b.id]) {
+				liveIn[b.id] = in
+				changed = true
+				continue
+			}
+			for v := range in {
+				if !liveIn[b.id][v] {
+					liveIn[b.id] = in
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Intervals.
+	starts := make(map[int]int)
+	ends := make(map[int]int)
+	useCount := make(map[int]int)
+	touch := func(v, p int) {
+		if s, ok := starts[v]; !ok || p < s {
+			starts[v] = p
+		}
+		if e, ok := ends[v]; !ok || p > e {
+			ends[v] = p
+		}
+	}
+	for bi, b := range f.blocks {
+		for ii := range b.insts {
+			m := &b.insts[ii]
+			p := posAt[bi][ii]
+			for _, op := range virtOperands(m, class) {
+				touch(*op.val, p)
+				useCount[*op.val]++
+			}
+		}
+		for v := range liveIn[b.id] {
+			touch(v, blockStart[b.id])
+		}
+		for v := range liveOut[b.id] {
+			touch(v, blockEnd[b.id])
+		}
+	}
+	var ivs []*interval
+	for v := range starts {
+		iv := &interval{vreg: v, start: starts[v], end: ends[v], uses: useCount[v], reg: -1, slot: -1}
+		for _, cp := range callPositions {
+			if iv.start < cp && iv.end > cp {
+				iv.crossCall = true
+				break
+			}
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(a, b int) bool {
+		if ivs[a].start != ivs[b].start {
+			return ivs[a].start < ivs[b].start
+		}
+		return ivs[a].vreg < ivs[b].vreg
+	})
+
+	caller, callee := intCallerSaved, intCalleeSaved
+	if class == isa.FpReg {
+		caller, callee = fpCallerSaved, fpCalleeSaved
+	}
+	isCallee := make(map[int]bool, len(callee))
+	for _, r := range callee {
+		isCallee[r] = true
+	}
+
+	free := make(map[int]bool)
+	for _, r := range caller {
+		free[r] = true
+	}
+	for _, r := range callee {
+		free[r] = true
+	}
+	var active []*interval
+	res := allocResult{
+		assign:    make(map[int]int),
+		spillSlot: make(map[int]int),
+		remat:     make(map[int]minst),
+	}
+	usedCallee := make(map[int]bool)
+
+	expire := func(pos int) {
+		kept := active[:0]
+		for _, a := range active {
+			if a.end < pos {
+				free[a.reg] = true
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+	}
+	pick := func(iv *interval) int {
+		if iv.crossCall {
+			for _, r := range callee {
+				if free[r] {
+					return r
+				}
+			}
+			return -1
+		}
+		for _, r := range caller {
+			if free[r] {
+				return r
+			}
+		}
+		for _, r := range callee {
+			if free[r] {
+				return r
+			}
+		}
+		return -1
+	}
+	spill := func(iv *interval) {
+		if t, ok := rematable[iv.vreg]; ok {
+			res.remat[iv.vreg] = t
+			return
+		}
+		iv.slot = *nextSlot
+		*nextSlot++
+		res.spillSlot[iv.vreg] = iv.slot
+	}
+	for _, iv := range ivs {
+		expire(iv.start)
+		r := pick(iv)
+		if r < 0 {
+			// Pick a spill victim by lowest static use count (a cheap
+			// spill-cost proxy: loop-carried values accumulate uses and are
+			// kept in registers), breaking ties toward the furthest end.
+			// Candidates are active intervals whose register this interval
+			// could legally use.
+			var victim *interval
+			better := func(a, b *interval) bool { // is a a better victim than b?
+				if b == nil {
+					return true
+				}
+				// Rematerializable intervals spill for free (no memory
+				// traffic), so they are always preferred victims.
+				_, aRemat := rematable[a.vreg]
+				_, bRemat := rematable[b.vreg]
+				if aRemat != bRemat {
+					return aRemat
+				}
+				if a.uses != b.uses {
+					return a.uses < b.uses
+				}
+				return a.end > b.end
+			}
+			for _, a := range active {
+				if iv.crossCall && !isCallee[a.reg] {
+					continue
+				}
+				if better(a, victim) {
+					victim = a
+				}
+			}
+			if victim != nil && better(victim, iv) {
+				r = victim.reg
+				victim.reg = -1
+				delete(res.assign, victim.vreg)
+				spill(victim)
+				kept := active[:0]
+				for _, a := range active {
+					if a != victim {
+						kept = append(kept, a)
+					}
+				}
+				active = kept
+			} else {
+				spill(iv)
+				continue
+			}
+		}
+		iv.reg = r
+		free[r] = false
+		if isCallee[r] {
+			usedCallee[r] = true
+		}
+		res.assign[iv.vreg] = r
+		active = append(active, iv)
+	}
+	for _, iv := range ivs {
+		if iv.reg >= 0 {
+			res.assign[iv.vreg] = iv.reg
+		}
+	}
+	for r := range usedCallee {
+		res.usedCallee = append(res.usedCallee, r)
+	}
+	sort.Ints(res.usedCallee)
+	return res
+}
+
+// rewrite applies an allocation to the function: virtual registers become
+// physical, spilled values go through frame slots via scratch registers.
+// Spill slots live right above the local-array area: offset
+// (localWords + slot) * 8 from SP.
+func rewrite(f *mfunc, class isa.RegClass, res allocResult) (loads, stores int) {
+	s1, s2 := intScratch1, intScratch2
+	sd := intScratchD
+	loadOp, storeOp := isa.LW, isa.SW
+	if class == isa.FpReg {
+		s1, s2, sd = fpScratch1, fpScratch2, fpScratch1
+		loadOp, storeOp = isa.LD, isa.SD
+	}
+	slotOff := func(slot int) int64 { return (f.localWords + int64(slot)) * 8 }
+
+	for _, b := range f.blocks {
+		var out []minst
+		for _, m := range b.insts {
+			ops := virtOperands(&m, class)
+			// Uses first.
+			usedScratch := make(map[int]int) // vreg -> scratch already loaded
+			nextScratch := s1
+			for _, op := range ops {
+				if op.isDef {
+					continue
+				}
+				v := *op.val
+				if r, ok := res.assign[v]; ok {
+					*op.val = r
+					continue
+				}
+				if sc, done := usedScratch[v]; done {
+					*op.val = sc
+					continue
+				}
+				if t, ok := res.remat[v]; ok {
+					sc := nextScratch
+					nextScratch = s2
+					t.rd = sc
+					out = append(out, t)
+					usedScratch[v] = sc
+					*op.val = sc
+					continue
+				}
+				slot, ok := res.spillSlot[v]
+				if !ok {
+					continue
+				}
+				sc := nextScratch
+				nextScratch = s2
+				out = append(out, minst{op: loadOp, rd: sc, rs: isa.RegSP, rt: noReg, imm: slotOff(slot), target: -1})
+				loads++
+				usedScratch[v] = sc
+				*op.val = sc
+			}
+			var defStore *minst
+			dropInst := false
+			for _, op := range ops {
+				if !op.isDef {
+					continue
+				}
+				v := *op.val
+				if r, ok := res.assign[v]; ok {
+					*op.val = r
+					continue
+				}
+				if _, ok := res.remat[v]; ok {
+					// The single definition of a rematerialized constant is
+					// dead: every use re-materializes it in place.
+					dropInst = true
+					continue
+				}
+				slot, ok := res.spillSlot[v]
+				if !ok {
+					continue
+				}
+				*op.val = sd
+				defStore = &minst{op: storeOp, rd: noReg, rs: sd, rt: isa.RegSP, imm: slotOff(slot), target: -1}
+			}
+			if dropInst {
+				continue
+			}
+			out = append(out, m)
+			if defStore != nil {
+				out = append(out, *defStore)
+				stores++
+			}
+		}
+		b.insts = out
+	}
+	return loads, stores
+}

@@ -1,0 +1,228 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/interp"
+	"fpint/internal/isa"
+	"fpint/internal/sim"
+)
+
+// compileRun compiles and runs under the given scheme, returning results
+// and stats.
+func compileRun(t *testing.T, src string, scheme codegen.Scheme) (*codegen.Result, *sim.Result) {
+	t.Helper()
+	res, _, err := codegen.CompileSource(src, codegen.Options{Scheme: scheme})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out, err := sim.New(res.Prog).Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, res.Prog.Disassemble())
+	}
+	return res, out
+}
+
+// TestConstantsRematerializedNotSpilled: a loop that keeps many distinct
+// constants live must not allocate spill slots for them — they get
+// re-materialized.
+func TestConstantsRematerializedNotSpilled(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("int a[64];\nint main() {\nint s = 0;\n")
+	sb.WriteString("for (int i = 0; i < 64; i++) {\n int v = a[i];\n s += ")
+	// 30 distinct large constants (too big a set to keep in registers all
+	// at once alongside the loop state).
+	for k := 0; k < 30; k++ {
+		if k > 0 {
+			sb.WriteString(" + ")
+		}
+		sb.WriteString("((v ^ ")
+		sb.WriteString(strings.Repeat("1", 1)) // keep source readable
+		sb.WriteString("000")
+		sb.WriteByte(byte('0' + k%10))
+		sb.WriteByte(byte('0' + k/10))
+		sb.WriteString(") & 255)")
+	}
+	sb.WriteString(";\n}\nreturn s & 1048575;\n}\n")
+	src := sb.String()
+
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.Compile(mod, codegen.Options{Scheme: codegen.SchemeNone, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.New(res.Prog).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ret != ref.Ret {
+		t.Fatalf("ret %d != %d", out.Ret, ref.Ret)
+	}
+	st := res.Stats["main"]
+	if st.SpillSlots > 2 {
+		t.Errorf("constants consumed %d spill slots; expected rematerialization", st.SpillSlots)
+	}
+}
+
+// TestCalleeSavedPreservedAcrossCalls: a value live across a call must
+// survive (allocated callee-saved or spilled), even under pressure.
+func TestCalleeSavedAcrossCalls(t *testing.T) {
+	src := `
+int g;
+int clobber(int x) {
+	int a = x+1; int b = x+2; int c = x+3; int d = x+4;
+	int e = x+5; int f = x+6; int h = x+7; int i = x+8;
+	g += a+b+c+d+e+f+h+i;
+	return g & 1023;
+}
+int main() {
+	int keep1 = 111; int keep2 = 222; int keep3 = 333; int keep4 = 444;
+	int keep5 = 555; int keep6 = 666; int keep7 = 777; int keep8 = 888;
+	int keep9 = 999; int keepA = 123; int keepB = 456; int keepC = 789;
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		s += clobber(i);
+		s += keep1 + keep2 + keep3 + keep4 + keep5 + keep6;
+		s += keep7 + keep8 + keep9 + keepA + keepB + keepC;
+		keep1 += i; keep5 ^= s; keep9 -= i; keepC += s & 7;
+	}
+	return s & 16777215;
+}`
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []codegen.Scheme{codegen.SchemeNone, codegen.SchemeAdvanced} {
+		res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sim.New(res.Prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Ret != ref.Ret {
+			t.Fatalf("%v: ret %d != %d", scheme, out.Ret, ref.Ret)
+		}
+	}
+}
+
+// TestNoReservedRegistersAllocated: generated code never assigns computed
+// values to the reserved scratch registers outside spill sequences, and
+// never writes R0.
+func TestReservedRegisterDiscipline(t *testing.T) {
+	w := strings.Repeat("x = (x ^ 17) + (x >> 2); y = y + x;\n", 8)
+	src := "int main() {\nint x = 5;\nint y = 0;\nfor (int i = 0; i < 50; i++) {\n" + w + "}\nreturn (x ^ y) & 1048575;\n}"
+	res, _ := compileRun(t, src, codegen.SchemeAdvanced)
+	for i, in := range res.Prog.Insts {
+		// Zero register is never a destination of ALU results in our
+		// selection (LI/MOV to $0 would be meaningless).
+		dDef := in.Op != isa.SW && in.Op != isa.SD && in.Op != isa.SWFA &&
+			in.Op != isa.J && in.Op != isa.JAL && in.Op != isa.JR &&
+			in.Op != isa.BNEZ && in.Op != isa.BEQZ && in.Op != isa.BNEZA &&
+			in.Op != isa.HALT && in.Op != isa.NOP && in.Op != isa.PRNI && in.Op != isa.PRNF
+		if dDef && isaIntDest(in.Op) && in.Rd == isa.RegZero {
+			t.Errorf("inst %d writes $0: %s", i, in)
+		}
+	}
+}
+
+func isaIntDest(op isa.Opcode) bool {
+	switch op {
+	case isa.LI, isa.MOV, isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM,
+		isa.AND, isa.OR, isa.XOR, isa.NOR, isa.SLL, isa.SRA, isa.SRL,
+		isa.SEQ, isa.SNE, isa.SLT, isa.SLE, isa.SGT, isa.SGE, isa.LW,
+		isa.CP2INT, isa.CVTFI, isa.FSEQ, isa.FSNE, isa.FSLT, isa.FSLE,
+		isa.FSGT, isa.FSGE:
+		return true
+	}
+	return false
+}
+
+// TestDeepRecursionStackDiscipline: recursive calls with frame-local
+// arrays must not corrupt each other's frames.
+func TestDeepRecursionFrames(t *testing.T) {
+	src := `
+int mix(int v[], int n) { return v[0]*3 + v[1]*5 + n; }
+int walk(int n) {
+	int buf[2];
+	buf[0] = n;
+	buf[1] = n * 2;
+	if (n <= 0) return 0;
+	int below = walk(n - 1);
+	return mix(buf, below) & 1048575;
+}
+int main() { return walk(40); }`
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []codegen.Scheme{codegen.SchemeNone, codegen.SchemeBasic, codegen.SchemeAdvanced} {
+		res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sim.New(res.Prog).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Ret != ref.Ret {
+			t.Fatalf("%v: ret %d != %d", scheme, out.Ret, ref.Ret)
+		}
+	}
+}
+
+// TestFloatRegisterPressure exercises the FP-file allocator including
+// callee-saved FP registers across calls.
+func TestFloatRegisterPressure(t *testing.T) {
+	src := `
+float acc;
+float touch(float x) { acc += x; return x * 0.5; }
+int main() {
+	float a = 1.0; float b = 2.0; float c = 3.0; float d = 4.0;
+	float e = 5.0; float f = 6.0; float g = 7.0; float h = 8.0;
+	float s = 0.0;
+	for (int i = 0; i < 10; i++) {
+		s = s + a + b + c + d + e + f + g + h;
+		s = s + touch(s);
+		a = a * 1.25; e = e - 0.5;
+	}
+	return (int) (s * 10.0);
+}`
+	mod, prof, err := codegen.FrontendPipeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.Compile(mod, codegen.Options{Scheme: codegen.SchemeAdvanced, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.New(res.Prog).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ret != ref.Ret {
+		t.Fatalf("ret %d != %d", out.Ret, ref.Ret)
+	}
+}

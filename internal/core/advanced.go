@@ -1,0 +1,443 @@
+package core
+
+import "math"
+
+// CostParams are the cost-model constants of §6.1. The paper determined
+// empirically that o_copy between 3 and 6 and o_dupl between 1.5 and 3 give
+// the best results, and requires o_dupl < o_copy (otherwise nothing would
+// ever be duplicated).
+type CostParams struct {
+	OCopy float64
+	ODupl float64
+}
+
+// DefaultCostParams returns the midpoint of the paper's empirical ranges.
+func DefaultCostParams() CostParams { return CostParams{OCopy: 4, ODupl: 2} }
+
+// AdvancedPartition implements the advanced partitioning scheme (§6):
+// starting from the LdSt slice in INT, it expands the INT boundary where
+// offloading is unprofitable (Phase 1), then tentatively introduces copy and
+// duplicate instructions for the remaining boundary and keeps only
+// profitable connected components (Phase 2). Calling-convention interaction
+// follows §6.4: formal parameters are INT-pinned dummy nodes, and producers
+// of integer call arguments / return values pay an FPa→INT copy if they
+// stay in FPa.
+func AdvancedPartition(g *Graph, params CostParams) *Partition {
+	if params.OCopy <= 0 {
+		params = DefaultCostParams()
+	}
+	a := &advancedState{
+		g:      g,
+		params: params,
+		inINT:  make([]bool, len(g.Nodes)),
+	}
+	a.initINT()
+	a.computeTransferCosts()
+	a.phase1()
+	a.phase2()
+	return a.finish()
+}
+
+type advancedState struct {
+	g      *Graph
+	params CostParams
+
+	// inINT[v] — node currently assigned to the INT partition. FixedFP
+	// nodes are never members of either partition.
+	inINT []bool
+
+	// copyCost/dupCost per node (§6.2 prepass).
+	copyCost []float64
+	dupCost  []float64
+}
+
+func (a *advancedState) count(v NodeID) float64 { return a.g.Nodes[v].Count }
+
+func (a *advancedState) partitionable(v NodeID) bool {
+	return a.g.Nodes[v].Class != ClassFixedFP
+}
+
+func (a *advancedState) inFPa(v NodeID) bool {
+	return a.partitionable(v) && !a.inINT[v]
+}
+
+// initINT seeds the INT partition: the LdSt slice (step 1 of the §6.3
+// algorithm) plus every pinned node, plus the backward slices of pinned
+// nodes that cannot receive FPa values at all (integer multiply/divide —
+// there is no transfer mechanism into them, unlike calls/returns, which
+// §6.4 handles with FPa→INT copies).
+func (a *advancedState) initINT() {
+	var hardRoots []NodeID // nodes whose entire backward slice must be INT
+	for _, n := range a.g.Nodes {
+		if n.Class != ClassPinInt {
+			continue
+		}
+		a.inINT[n.ID] = true
+		switch n.Kind {
+		case KindLoadAddr, KindStoreAddr:
+			hardRoots = append(hardRoots, n.ID)
+		case KindPlain: // integer mul/div/rem
+			hardRoots = append(hardRoots, n.ID)
+		}
+	}
+	for v := range a.g.BackwardSlice(hardRoots...) {
+		if a.partitionable(v) {
+			a.inINT[v] = true
+		}
+	}
+}
+
+// computeTransferCosts runs the §6.2 prepass:
+//
+//	copy_cost(v)  = o_copy * n_B(v)
+//	dupl_cost(v)  = o_dupl * n_B(v) + Σ_i min(copy_cost(u_i), dupl_cost(u_i))
+//
+// iterated to a fixpoint from dupl_cost = ∞. Load-value nodes have no
+// parent term (their duplicate re-loads through the INT-side address, which
+// is where backward slices stop). Parameter dummies cannot be duplicated —
+// the value only materializes in an integer register.
+func (a *advancedState) computeTransferCosts() {
+	n := len(a.g.Nodes)
+	a.copyCost = make([]float64, n)
+	a.dupCost = make([]float64, n)
+	for _, nd := range a.g.Nodes {
+		a.copyCost[nd.ID] = a.params.OCopy * nd.Count
+		a.dupCost[nd.ID] = math.Inf(1)
+	}
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for _, nd := range a.g.Nodes {
+			if nd.Class == ClassFixedFP || nd.Kind == KindParam ||
+				nd.Kind == KindCall || nd.Kind == KindRet || nd.Kind == KindJump {
+				continue // not duplicable
+			}
+			c := a.params.ODupl * nd.Count
+			if nd.Kind != KindLoadVal {
+				for _, p := range nd.Parents {
+					if !a.partitionable(p) {
+						continue
+					}
+					c += math.Min(a.copyCost[p], a.dupCost[p])
+				}
+			}
+			if c < a.dupCost[nd.ID]-1e-9 {
+				a.dupCost[nd.ID] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// transferOverhead is min(copy, dup) — the cheapest way to make v's value
+// available in FPa while v executes in INT.
+func (a *advancedState) transferOverhead(v NodeID) float64 {
+	return math.Min(a.copyCost[v], a.dupCost[v])
+}
+
+func (a *advancedState) preferDup(v NodeID) bool {
+	return a.dupCost[v] < a.copyCost[v]
+}
+
+// phase1 expands the INT boundary (§6.3 lines 2–15). For each candidate
+// FPa node u reachable from the boundary, it computes the loss to FPa if
+// the FPa portion of u's backward slice P were assigned to INT:
+//
+//	loss = Σ_{v∈P} term(v) + Σ_{v∈Q} δ(v)
+//
+// where term(v) = n_v + α(v) (α(v) = transfer overhead if v would still
+// have FPa children outside P), except for actual-argument nodes, whose
+// term becomes −copying_cost(v) (§6.4); and δ(v) for boundary parents Q of
+// P is −overhead(v) when moving P saves v's transfer. loss < 0 moves P to
+// INT; loss == 0 defers the decision to P's children.
+func (a *advancedState) phase1() {
+	// Work queue of candidate FPa nodes. A node is examined at most once
+	// per INT-partition state: the examined marks are only cleared when the
+	// boundary actually expands, which bounds the loop (INT growth is
+	// monotone), even when deferred (loss == 0) decisions chase cycles in
+	// the RDG.
+	var queue []NodeID
+	queued := make([]bool, len(a.g.Nodes))
+	examined := make([]bool, len(a.g.Nodes))
+	push := func(v NodeID) {
+		if a.inFPa(v) && !queued[v] && !examined[v] {
+			queued[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, n := range a.g.Nodes {
+		if !a.partitionable(n.ID) || !a.inINT[n.ID] {
+			continue
+		}
+		for _, c := range n.Children {
+			push(c)
+		}
+	}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		queued[u] = false
+		if !a.inFPa(u) || examined[u] {
+			continue
+		}
+		examined[u] = true
+		// P = FPa nodes in Backward-Slice(G, u).
+		var P []NodeID
+		inP := make(map[NodeID]bool)
+		for v := range a.g.BackwardSlice(u) {
+			if a.inFPa(v) {
+				P = append(P, v)
+				inP[v] = true
+			}
+		}
+		loss := 0.0
+		for _, v := range P {
+			nd := a.g.Nodes[v]
+			if nd.IsActualArg {
+				// §6.4: beneficial to move an actual-parameter node to INT
+				// since the FPa→INT copy is then no longer needed.
+				loss -= a.copyCost[v]
+				continue
+			}
+			term := nd.Count
+			// α(v): if v still has FPa children outside P after the move,
+			// v must be transferred anyway.
+			for _, c := range nd.Children {
+				if a.inFPa(c) && !inP[c] {
+					term += a.transferOverhead(v)
+					break
+				}
+			}
+			loss += term
+		}
+		// Q: INT boundary parents of P. Moving P to INT saves their
+		// transfer when P contains all their FPa children.
+		qSeen := make(map[NodeID]bool)
+		for _, v := range P {
+			for _, par := range a.g.Nodes[v].Parents {
+				if !a.partitionable(par) || !a.inINT[par] || qSeen[par] {
+					continue
+				}
+				qSeen[par] = true
+				hasOtherFPaChild := false
+				for _, c := range a.g.Nodes[par].Children {
+					if a.inFPa(c) && !inP[c] {
+						hasOtherFPaChild = true
+						break
+					}
+				}
+				if !hasOtherFPaChild {
+					loss -= a.transferOverhead(par)
+				}
+			}
+		}
+
+		const eps = 1e-9
+		switch {
+		case loss < -eps:
+			// Expand the INT boundary: move P to INT. The partition state
+			// changed, so earlier verdicts may no longer hold — clear the
+			// examined marks and re-seed from P's remaining FPa children.
+			for _, v := range P {
+				a.inINT[v] = true
+			}
+			for i := range examined {
+				examined[i] = false
+			}
+			for _, v := range P {
+				for _, c := range a.g.Nodes[v].Children {
+					push(c)
+				}
+			}
+		case loss <= eps:
+			// Defer: too little information; examine P's FPa children,
+			// which see a larger portion of the graph.
+			for _, v := range P {
+				for _, c := range a.g.Nodes[v].Children {
+					if !inP[c] {
+						push(c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// transferSet computes, for the current assignment, the set of INT-side
+// definitions that must be made FPa-available: every INT node with an FPa
+// child, closed under duplicate operand requirements (a duplicated node's
+// INT parents must themselves be transferred).
+func (a *advancedState) transferSet() (copies, dups map[NodeID]bool) {
+	copies = make(map[NodeID]bool)
+	dups = make(map[NodeID]bool)
+	var work []NodeID
+	need := make(map[NodeID]bool)
+	add := func(v NodeID) {
+		if !need[v] {
+			need[v] = true
+			work = append(work, v)
+		}
+	}
+	for _, n := range a.g.Nodes {
+		if !a.partitionable(n.ID) || !a.inINT[n.ID] {
+			continue
+		}
+		for _, c := range n.Children {
+			if a.inFPa(c) {
+				add(n.ID)
+				break
+			}
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if a.preferDup(v) {
+			dups[v] = true
+			if a.g.Nodes[v].Kind != KindLoadVal {
+				for _, p := range a.g.Nodes[v].Parents {
+					if a.partitionable(p) && a.inINT[p] {
+						add(p)
+					}
+				}
+			}
+		} else {
+			copies[v] = true
+		}
+	}
+	return copies, dups
+}
+
+// phase2 tentatively introduces the copies and duplicates implied by the
+// Phase 1 boundary, then evaluates each connected component of the
+// resulting graph with the cost model and assigns unprofitable components
+// back to INT (§6.3 lines 16–26).
+//
+// Crucially, the tentatively-inserted copy/duplicate nodes join the
+// undirected graph: a single copy of a loop induction variable merges every
+// branch slice it feeds into one component, exactly as in the paper's
+// Figure 5 (copies 1c and 15c create one new connected component holding
+// both branch slices). Component membership is computed with a union-find
+// over FPa nodes and transfer nodes.
+func (a *advancedState) phase2() {
+	copies, dups := a.transferSet()
+
+	uf := newUnionFind(len(a.g.Nodes))
+	// FPa-FPa edges.
+	for _, n := range a.g.Nodes {
+		if !a.inFPa(n.ID) {
+			continue
+		}
+		for _, c := range n.Children {
+			if a.inFPa(c) {
+				uf.union(int(n.ID), int(c))
+			}
+		}
+	}
+	isTransfer := func(v NodeID) bool { return copies[v] || dups[v] }
+	// A transfer node joins the components of its FPa consumers; a
+	// duplicated transfer also joins its supplying transfers (its INT
+	// parents in the transfer set), since the duplicate executes in FPa on
+	// their values.
+	for _, n := range a.g.Nodes {
+		if !isTransfer(n.ID) {
+			continue
+		}
+		for _, c := range n.Children {
+			if a.inFPa(c) || isTransfer(c) {
+				uf.union(int(n.ID), int(c))
+			}
+		}
+		if dups[n.ID] && n.Kind != KindLoadVal {
+			for _, p := range n.Parents {
+				if isTransfer(p) {
+					uf.union(int(n.ID), int(p))
+				}
+			}
+		}
+	}
+
+	// Profit per component root: Σ benefit of FPa members − Σ transfer
+	// overheads − Σ FPa→INT copies for actual-argument members.
+	profit := make(map[int]float64)
+	for _, n := range a.g.Nodes {
+		switch {
+		case a.inFPa(n.ID):
+			root := uf.find(int(n.ID))
+			profit[root] += n.Count
+			if n.IsActualArg {
+				profit[root] -= a.copyCost[n.ID]
+			}
+		case isTransfer(n.ID):
+			root := uf.find(int(n.ID))
+			if dups[n.ID] {
+				profit[root] -= a.params.ODupl * n.Count
+			} else {
+				profit[root] -= a.copyCost[n.ID]
+			}
+		}
+	}
+
+	for _, n := range a.g.Nodes {
+		if !a.inFPa(n.ID) {
+			continue
+		}
+		if profit[uf.find(int(n.ID))] < 0 {
+			a.inINT[n.ID] = true
+		}
+	}
+}
+
+// unionFind is a standard disjoint-set structure with path compression.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(x, y int) {
+	rx, ry := u.find(x), u.find(y)
+	if rx != ry {
+		u.parent[rx] = ry
+	}
+}
+
+// finish recomputes the final transfer sets for the settled assignment and
+// packages the result.
+func (a *advancedState) finish() *Partition {
+	p := newPartition(a.g, "advanced")
+	for _, n := range a.g.Nodes {
+		if n.Class == ClassFixedFP {
+			continue
+		}
+		if a.inINT[n.ID] {
+			p.Assign[n.ID] = SubINT
+		} else {
+			p.Assign[n.ID] = SubFPa
+		}
+	}
+	copies, dups := a.transferSet()
+	p.CopyNodes = copies
+	p.DupNodes = dups
+	for _, n := range a.g.Nodes {
+		if a.inFPa(n.ID) && n.IsActualArg {
+			p.OutCopyNodes[n.ID] = true
+		}
+	}
+	return p
+}

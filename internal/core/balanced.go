@@ -1,0 +1,110 @@
+package core
+
+import "sort"
+
+// BalancedPartition implements the improvement §6.6 sketches: the greedy
+// schemes assign as much work as possible to FPa without asking whether the
+// INT subsystem goes idle ("for functions that perform very little or no
+// memory access, this strategy can backfire" — e.g. compress's rand moves
+// wholesale). This variant runs the advanced scheme and then demotes whole
+// FPa components — least profit-dense first — until the FPa partition's
+// estimated dynamic weight is at most maxFPaFraction of the function total.
+//
+// maxFPaFraction ≤ 0 or ≥ 1 leaves the advanced result untouched. The
+// result remains a valid partition (transfer sets are recomputed for the
+// final assignment).
+func BalancedPartition(g *Graph, params CostParams, maxFPaFraction float64) *Partition {
+	p := AdvancedPartition(g, params)
+	if maxFPaFraction <= 0 || maxFPaFraction >= 1 {
+		return p
+	}
+	p.Scheme = "balanced"
+
+	// Total weight over partitionable nodes.
+	var total, fpa float64
+	for _, n := range g.Nodes {
+		if n.Class == ClassFixedFP {
+			continue
+		}
+		total += n.Count
+		if p.InFPa(n.ID) {
+			fpa += n.Count
+		}
+	}
+	if total == 0 || fpa/total <= maxFPaFraction {
+		return p
+	}
+
+	// Components of the current FPa partition with their weights and
+	// transfer costs; demote in increasing profit density (benefit minus
+	// transfer overhead per unit of weight).
+	uf := newUnionFind(len(g.Nodes))
+	for _, n := range g.Nodes {
+		if !p.InFPa(n.ID) {
+			continue
+		}
+		for _, c := range n.Children {
+			if p.InFPa(c) {
+				uf.union(int(n.ID), int(c))
+			}
+		}
+	}
+	type comp struct {
+		root    int
+		weight  float64
+		members []NodeID
+	}
+	byRoot := make(map[int]*comp)
+	for _, n := range g.Nodes {
+		if !p.InFPa(n.ID) {
+			continue
+		}
+		r := uf.find(int(n.ID))
+		c := byRoot[r]
+		if c == nil {
+			c = &comp{root: r}
+			byRoot[r] = c
+		}
+		c.weight += n.Count
+		c.members = append(c.members, n.ID)
+	}
+	comps := make([]*comp, 0, len(byRoot))
+	for _, c := range byRoot {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].weight != comps[j].weight {
+			return comps[i].weight < comps[j].weight
+		}
+		return comps[i].root < comps[j].root
+	})
+
+	for _, c := range comps {
+		if fpa/total <= maxFPaFraction {
+			break
+		}
+		for _, id := range c.members {
+			p.Assign[id] = SubINT
+		}
+		fpa -= c.weight
+	}
+
+	// Recompute the transfer sets for the reduced assignment.
+	a := &advancedState{g: g, params: params, inINT: make([]bool, len(g.Nodes))}
+	a.computeTransferCosts()
+	for _, n := range g.Nodes {
+		if n.Class != ClassFixedFP {
+			a.inINT[n.ID] = p.Assign[n.ID] == SubINT
+		}
+	}
+	copies, dups := a.transferSet()
+	p.CopyNodes = copies
+	p.DupNodes = dups
+	p.OutCopyNodes = make(map[NodeID]bool)
+	for _, n := range g.Nodes {
+		if a.inFPa(n.ID) && n.IsActualArg {
+			p.OutCopyNodes[n.ID] = true
+		}
+	}
+	return p
+}

@@ -1,0 +1,74 @@
+package core
+
+// BasicPartition implements the basic partitioning scheme (§5): no extra
+// instructions are introduced; all inter-partition communication flows
+// through existing program loads and stores.
+//
+// The partitioning conditions (§5.1) require that no FPa node exchange a
+// register value with an INT node in either direction. Interpreted on the
+// undirected RDG, every connected component belongs wholly to one
+// partition. Components containing a load/store address node, a call
+// argument/return node, or any other pinned-INT node go to INT; everything
+// else — components computing only branch outcomes and store values — goes
+// to FPa (§5.2, the algorithm is linear in nodes+edges).
+func BasicPartition(g *Graph) *Partition {
+	p := newPartition(g, "basic")
+	comp := undirectedComponents(g)
+	// Pinned components go to INT.
+	pinned := make(map[int]bool)
+	for _, n := range g.Nodes {
+		if n.Class == ClassPinInt {
+			pinned[comp[n.ID]] = true
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Class == ClassFixedFP {
+			continue
+		}
+		if pinned[comp[n.ID]] {
+			p.Assign[n.ID] = SubINT
+		} else {
+			p.Assign[n.ID] = SubFPa
+		}
+	}
+	return p
+}
+
+// undirectedComponents labels each non-FixedFP node with its connected
+// component in the undirected RDG. FixedFP nodes get label -1 and their
+// edges do not join components.
+func undirectedComponents(g *Graph) []int {
+	comp := make([]int, len(g.Nodes))
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for _, n := range g.Nodes {
+		if n.Class == ClassFixedFP || comp[n.ID] >= 0 {
+			continue
+		}
+		// BFS over undirected edges.
+		label := next
+		next++
+		stack := []NodeID{n.ID}
+		comp[n.ID] = label
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			visit := func(m NodeID) {
+				if g.Nodes[m].Class == ClassFixedFP || comp[m] >= 0 {
+					return
+				}
+				comp[m] = label
+				stack = append(stack, m)
+			}
+			for _, m := range g.Nodes[cur].Parents {
+				visit(m)
+			}
+			for _, m := range g.Nodes[cur].Children {
+				visit(m)
+			}
+		}
+	}
+	return comp
+}

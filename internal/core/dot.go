@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotGraph renders the RDG (and, when p is non-nil, its partition) as a
+// Graphviz digraph: INT nodes are boxes, FPa nodes are filled ellipses,
+// fixed-FP nodes are dashed, and copy/duplicate transfer sites are marked.
+// Useful with `fpic -dot` to look at partitions the way the paper's
+// Figures 4–6 draw them.
+func DotGraph(g *Graph, p *Partition) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", "rdg_"+g.Fn.Name)
+	sb.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	for _, n := range g.Nodes {
+		label := "param " + fmt.Sprint(n.ParamIdx)
+		if n.Instr != nil {
+			label = fmt.Sprintf("i%d: %s", n.Instr.ID, n.Instr)
+		}
+		label = strings.ReplaceAll(label, `"`, `'`)
+		attrs := []string{fmt.Sprintf("label=\"n%d %s\\n%s\"", n.ID, n.Kind, label)}
+		switch {
+		case n.Class == ClassFixedFP:
+			attrs = append(attrs, "shape=ellipse", "style=dashed", "color=gray50")
+		case p != nil && p.InFPa(n.ID):
+			attrs = append(attrs, "shape=ellipse", "style=filled", "fillcolor=lightblue")
+		default:
+			attrs = append(attrs, "shape=box")
+		}
+		if p != nil {
+			if p.CopyNodes[n.ID] {
+				attrs = append(attrs, "peripheries=2", "color=blue")
+			}
+			if p.DupNodes[n.ID] {
+				attrs = append(attrs, "peripheries=2", "color=purple")
+			}
+			if p.OutCopyNodes[n.ID] {
+				attrs = append(attrs, "peripheries=2", "color=red")
+			}
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+	for _, n := range g.Nodes {
+		for _, c := range n.Children {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", n.ID, c)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package core
+
+import "fmt"
+
+// Subsystem identifies where a node executes after partitioning.
+type Subsystem uint8
+
+// Subsystems.
+const (
+	SubINT Subsystem = iota // the integer subsystem
+	SubFPa                  // the augmented floating-point subsystem
+)
+
+// String names the subsystem.
+func (s Subsystem) String() string {
+	if s == SubFPa {
+		return "FPa"
+	}
+	return "INT"
+}
+
+// Partition is the result of running a partitioning scheme on a function's
+// RDG.
+type Partition struct {
+	G      *Graph
+	Scheme string
+
+	// Assign[node] is the subsystem of each non-FixedFP node.
+	Assign []Subsystem
+
+	// CopyNodes are INT-side definitions whose value is copied INT→FPa
+	// with an explicit copy instruction (advanced scheme only).
+	CopyNodes map[NodeID]bool
+
+	// DupNodes are INT-side definitions duplicated into FPa (advanced
+	// scheme only). A duplicated load value is re-loaded into an FP
+	// register; a duplicated ALU op is re-executed on FPa copies of its
+	// operands.
+	DupNodes map[NodeID]bool
+
+	// OutCopyNodes are FPa-side definitions whose value is copied FPa→INT
+	// because a call argument or return value needs it in an integer
+	// register (§6.4).
+	OutCopyNodes map[NodeID]bool
+}
+
+func newPartition(g *Graph, scheme string) *Partition {
+	return &Partition{
+		G:            g,
+		Scheme:       scheme,
+		Assign:       make([]Subsystem, len(g.Nodes)),
+		CopyNodes:    make(map[NodeID]bool),
+		DupNodes:     make(map[NodeID]bool),
+		OutCopyNodes: make(map[NodeID]bool),
+	}
+}
+
+// InFPa reports whether node id is assigned to the FPa subsystem.
+func (p *Partition) InFPa(id NodeID) bool {
+	return p.G.Nodes[id].Class != ClassFixedFP && p.Assign[id] == SubFPa
+}
+
+// FPaAvailable reports whether node id's value is available in the FP
+// register file (it executes there, or is copied/duplicated into it).
+func (p *Partition) FPaAvailable(id NodeID) bool {
+	return p.InFPa(id) || p.CopyNodes[id] || p.DupNodes[id]
+}
+
+// Validate checks the structural invariants of the partition:
+//   - pinned-INT nodes are in INT; FixedFP nodes have no assignment demands;
+//   - every edge into an FPa node comes from an FPa-available value;
+//   - every edge into an INT node comes from an INT value, or from an FPa
+//     value with an FPa→INT out-copy (allowed only into call/ret nodes);
+//   - copies/dups only attach to INT-side definitions, out-copies only to
+//     FPa-side definitions.
+func (p *Partition) Validate() error {
+	g := p.G
+	for _, n := range g.Nodes {
+		if n.Class == ClassFixedFP {
+			continue
+		}
+		if n.Class == ClassPinInt && p.Assign[n.ID] != SubINT {
+			return fmt.Errorf("%s: node n%d (%s) pinned to INT but assigned FPa", g.Fn.Name, n.ID, n.Kind)
+		}
+		if p.CopyNodes[n.ID] && p.Assign[n.ID] != SubINT {
+			return fmt.Errorf("%s: copy attached to non-INT node n%d", g.Fn.Name, n.ID)
+		}
+		if p.DupNodes[n.ID] && p.Assign[n.ID] != SubINT {
+			return fmt.Errorf("%s: dup attached to non-INT node n%d", g.Fn.Name, n.ID)
+		}
+		if p.OutCopyNodes[n.ID] && p.Assign[n.ID] != SubFPa {
+			return fmt.Errorf("%s: out-copy attached to non-FPa node n%d", g.Fn.Name, n.ID)
+		}
+		for _, c := range n.Children {
+			child := g.Nodes[c]
+			if child.Class == ClassFixedFP {
+				continue
+			}
+			if p.Assign[c] == SubFPa {
+				if !p.FPaAvailable(n.ID) {
+					return fmt.Errorf("%s: FPa node n%d (%s) consumes n%d (%s) which is not FPa-available",
+						g.Fn.Name, c, child.Kind, n.ID, n.Kind)
+				}
+			} else {
+				if p.Assign[n.ID] == SubFPa {
+					if !p.OutCopyNodes[n.ID] {
+						return fmt.Errorf("%s: INT node n%d (%s) consumes FPa n%d (%s) without out-copy",
+							g.Fn.Name, c, child.Kind, n.ID, n.Kind)
+					}
+					if child.Kind != KindCall && child.Kind != KindRet {
+						return fmt.Errorf("%s: out-copy feeds non-call/ret node n%d (%s)",
+							g.Fn.Name, c, child.Kind)
+					}
+				}
+			}
+		}
+		// A duplicated node's parents must themselves be FPa-available,
+		// because the duplicate re-executes in FPa. Load values are exempt:
+		// their duplicate re-loads from memory using the INT-side address.
+		if p.DupNodes[n.ID] && n.Kind != KindLoadVal {
+			for _, par := range n.Parents {
+				if g.Nodes[par].Class == ClassFixedFP {
+					continue
+				}
+				if !p.FPaAvailable(par) {
+					return fmt.Errorf("%s: duplicated node n%d has parent n%d not FPa-available",
+						g.Fn.Name, n.ID, par)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a partition statically, weighting nodes by the cost
+// model's execution-count estimates. Dynamic percentages for the figures
+// come from the timing/functional simulators instead.
+type Stats struct {
+	TotalNodes int
+	FPaNodes   int
+	Copies     int
+	Dups       int
+	OutCopies  int
+
+	// Weighted by execution-count estimate, counting each split
+	// instruction once (a load/store whose value half is in FPa still
+	// executes in INT's load/store unit, so split instructions count as
+	// INT).
+	TotalWeight float64
+	FPaWeight   float64
+}
+
+// ComputeStats derives summary statistics for the partition.
+func (p *Partition) ComputeStats() Stats {
+	var st Stats
+	seen := make(map[int]bool)
+	for _, n := range p.G.Nodes {
+		if n.Class == ClassFixedFP {
+			continue
+		}
+		st.TotalNodes++
+		if p.InFPa(n.ID) {
+			st.FPaNodes++
+		}
+		if n.Instr == nil || seen[n.Instr.ID] {
+			continue
+		}
+		seen[n.Instr.ID] = true
+		st.TotalWeight += n.Count
+		// Whole-instruction FPa execution requires the main node in FPa;
+		// split memory instructions execute in INT regardless.
+		switch n.Kind {
+		case KindPlain, KindBranch:
+			if p.InFPa(n.ID) {
+				st.FPaWeight += n.Count
+			}
+		}
+	}
+	st.Copies = len(p.CopyNodes)
+	st.Dups = len(p.DupNodes)
+	st.OutCopies = len(p.OutCopyNodes)
+	return st
+}

@@ -1,0 +1,64 @@
+package dataflow
+
+import "fpint/internal/ir"
+
+// Liveness holds per-block live-in/live-out virtual register sets.
+type Liveness struct {
+	Fn      *ir.Func
+	LiveIn  map[*ir.Block]*BitSet // indexed by VReg
+	LiveOut map[*ir.Block]*BitSet
+}
+
+// ComputeLiveness solves backward liveness over virtual registers.
+func ComputeLiveness(fn *ir.Func) *Liveness {
+	n := fn.NumVRegs()
+	lv := &Liveness{
+		Fn:      fn,
+		LiveIn:  make(map[*ir.Block]*BitSet),
+		LiveOut: make(map[*ir.Block]*BitSet),
+	}
+	use := make(map[*ir.Block]*BitSet)
+	def := make(map[*ir.Block]*BitSet)
+	for _, b := range fn.Blocks {
+		u := NewBitSet(n)
+		d := NewBitSet(n)
+		for _, instr := range b.Instrs {
+			for _, a := range instr.Args {
+				if !d.Has(int(a)) {
+					u.Set(int(a))
+				}
+			}
+			if instr.Dst != 0 {
+				d.Set(int(instr.Dst))
+			}
+		}
+		use[b] = u
+		def[b] = d
+		lv.LiveIn[b] = NewBitSet(n)
+		lv.LiveOut[b] = NewBitSet(n)
+	}
+	// Iterate in postorder (reverse of RPO) for fast convergence.
+	rpo := fn.ReversePostorder()
+	changed := true
+	for changed {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := NewBitSet(n)
+			for _, s := range b.Succs {
+				out.UnionWith(lv.LiveIn[s])
+			}
+			if !out.Equal(lv.LiveOut[b]) {
+				lv.LiveOut[b].CopyFrom(out)
+			}
+			in := out.Copy()
+			in.DiffWith(def[b])
+			in.UnionWith(use[b])
+			if !in.Equal(lv.LiveIn[b]) {
+				lv.LiveIn[b].CopyFrom(in)
+				changed = true
+			}
+		}
+	}
+	return lv
+}

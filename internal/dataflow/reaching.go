@@ -1,0 +1,157 @@
+package dataflow
+
+import "fpint/internal/ir"
+
+// DefSite identifies a definition of a virtual register: either an
+// instruction (Instr != nil) or a function parameter (Instr == nil,
+// ParamIdx valid).
+type DefSite struct {
+	Instr    *ir.Instr
+	ParamIdx int
+}
+
+// ReachingDefs holds the solved reaching-definitions problem for a function.
+//
+// Definition sites are numbered: instruction IDs [0, NumInstrs) for
+// instructions with a destination register, then NumInstrs+i for parameter i.
+type ReachingDefs struct {
+	Fn *ir.Func
+
+	// numSites = fn.NumInstrs() + len(fn.Params).
+	numSites int
+
+	// defsOf[v] lists the def-site indices of virtual register v.
+	defsOf map[ir.VReg][]int
+
+	// sites[i] describes site i.
+	sites []DefSite
+
+	// in[block] is the set of def sites reaching block entry.
+	in map[*ir.Block]*BitSet
+
+	// UseDefs[instrID][argIdx] lists the def sites reaching that use.
+	UseDefs map[int][][]int
+}
+
+// ComputeReachingDefs solves reaching definitions for fn. The function must
+// have been renumbered (ir.Func.Renumber).
+func ComputeReachingDefs(fn *ir.Func) *ReachingDefs {
+	n := fn.NumInstrs()
+	rd := &ReachingDefs{
+		Fn:       fn,
+		numSites: n + len(fn.Params),
+		defsOf:   make(map[ir.VReg][]int),
+		sites:    make([]DefSite, n+len(fn.Params)),
+		in:       make(map[*ir.Block]*BitSet),
+		UseDefs:  make(map[int][][]int),
+	}
+	for _, b := range fn.Blocks {
+		for _, instr := range b.Instrs {
+			if instr.Dst != 0 {
+				rd.defsOf[instr.Dst] = append(rd.defsOf[instr.Dst], instr.ID)
+				rd.sites[instr.ID] = DefSite{Instr: instr}
+			}
+		}
+	}
+	for i, p := range fn.Params {
+		idx := n + i
+		rd.defsOf[p] = append(rd.defsOf[p], idx)
+		rd.sites[idx] = DefSite{ParamIdx: i}
+	}
+
+	// GEN/KILL per block.
+	gen := make(map[*ir.Block]*BitSet)
+	kill := make(map[*ir.Block]*BitSet)
+	for _, b := range fn.Blocks {
+		g := NewBitSet(rd.numSites)
+		k := NewBitSet(rd.numSites)
+		for _, instr := range b.Instrs {
+			if instr.Dst == 0 {
+				continue
+			}
+			for _, d := range rd.defsOf[instr.Dst] {
+				g.Clear(d)
+				k.Set(d)
+			}
+			g.Set(instr.ID)
+			k.Clear(instr.ID)
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+
+	// Entry IN = parameter defs.
+	out := make(map[*ir.Block]*BitSet)
+	for _, b := range fn.Blocks {
+		rd.in[b] = NewBitSet(rd.numSites)
+		out[b] = NewBitSet(rd.numSites)
+	}
+	entryIn := NewBitSet(rd.numSites)
+	for i := range fn.Params {
+		entryIn.Set(n + i)
+	}
+	rd.in[fn.Entry].CopyFrom(entryIn)
+
+	// Iterate to fixpoint in reverse postorder.
+	order := fn.ReversePostorder()
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			inSet := rd.in[b]
+			if b != fn.Entry {
+				fresh := NewBitSet(rd.numSites)
+				for _, p := range b.Preds {
+					fresh.UnionWith(out[p])
+				}
+				if !fresh.Equal(inSet) {
+					inSet.CopyFrom(fresh)
+				}
+			}
+			newOut := inSet.Copy()
+			newOut.DiffWith(kill[b])
+			newOut.UnionWith(gen[b])
+			if !newOut.Equal(out[b]) {
+				out[b].CopyFrom(newOut)
+				changed = true
+			}
+		}
+	}
+
+	// Walk each block once more to attribute defs to uses.
+	for _, b := range fn.Blocks {
+		cur := rd.in[b].Copy()
+		for _, instr := range b.Instrs {
+			uses := make([][]int, len(instr.Args))
+			for ai, a := range instr.Args {
+				var reach []int
+				for _, d := range rd.defsOf[a] {
+					if cur.Has(d) {
+						reach = append(reach, d)
+					}
+				}
+				uses[ai] = reach
+			}
+			rd.UseDefs[instr.ID] = uses
+			if instr.Dst != 0 {
+				for _, d := range rd.defsOf[instr.Dst] {
+					cur.Clear(d)
+				}
+				cur.Set(instr.ID)
+			}
+		}
+	}
+	return rd
+}
+
+// NumSites returns the total number of definition sites.
+func (rd *ReachingDefs) NumSites() int { return rd.numSites }
+
+// Site returns the description of def site idx.
+func (rd *ReachingDefs) Site(idx int) DefSite { return rd.sites[idx] }
+
+// IsParamSite reports whether def site idx is a function parameter.
+func (rd *ReachingDefs) IsParamSite(idx int) bool { return idx >= rd.Fn.NumInstrs() }
+
+// DefsOf returns the def sites of register v.
+func (rd *ReachingDefs) DefsOf(v ir.VReg) []int { return rd.defsOf[v] }

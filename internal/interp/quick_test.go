@@ -1,0 +1,112 @@
+package interp_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests: single-operation programs evaluated by the full
+// pipeline (parse → check → lower → optimize → interpret) must agree with
+// Go's own 64-bit integer semantics.
+
+func evalBinary(t *testing.T, op string, a, b int64) int64 {
+	t.Helper()
+	// Pass operands through globals so constant folding cannot shortcut
+	// the actual operator implementation.
+	src := fmt.Sprintf(`
+int ga = %d;
+int gb = %d;
+int main() { return ga %s gb; }`, a, b, op)
+	return run(t, src).Ret
+}
+
+func TestQuickAdd(t *testing.T) {
+	f := func(a, b int64) bool { return evalBinary(t, "+", a, b) == a+b }
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubMul(t *testing.T) {
+	f := func(a, b int64) bool {
+		return evalBinary(t, "-", a, b) == a-b && evalBinary(t, "*", a, b) == a*b
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitwise(t *testing.T) {
+	f := func(a, b int64) bool {
+		return evalBinary(t, "&", a, b) == a&b &&
+			evalBinary(t, "|", a, b) == a|b &&
+			evalBinary(t, "^", a, b) == a^b
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickShifts(t *testing.T) {
+	f := func(a int64, sh uint8) bool {
+		k := int64(sh % 64)
+		return evalBinary(t, "<<", a, k) == a<<uint(k) &&
+			evalBinary(t, ">>", a, k) == a>>uint(k)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDivRem(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 {
+			b = 1
+		}
+		return evalBinary(t, "/", a, b) == a/b && evalBinary(t, "%", a, b) == a%b
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComparisons(t *testing.T) {
+	b2i := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	f := func(a, b int64) bool {
+		return evalBinary(t, "<", a, b) == b2i(a < b) &&
+			evalBinary(t, "<=", a, b) == b2i(a <= b) &&
+			evalBinary(t, ">", a, b) == b2i(a > b) &&
+			evalBinary(t, ">=", a, b) == b2i(a >= b) &&
+			evalBinary(t, "==", a, b) == b2i(a == b) &&
+			evalBinary(t, "!=", a, b) == b2i(a != b)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMemoryRoundTrip: storing then loading through a global array is
+// the identity for any value and any in-range index.
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	f := func(v int64, idx uint8) bool {
+		i := int64(idx % 32)
+		src := fmt.Sprintf(`
+int a[32];
+int gv = %d;
+int main() { a[%d] = gv; return a[%d] == gv; }`, v, i, i)
+		return run(t, src).Ret == 1
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 25}
+}

@@ -1,0 +1,394 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		kind := "int"
+		if g.IsFloat {
+			kind = "float"
+		}
+		fmt.Fprintf(&sb, "global %s %s[%d]\n", kind, g.Name, g.Words)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders the function with block labels and numbered instructions.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s:%s", p, f.VRegType(p))
+	}
+	fmt.Fprintf(&sb, ") %s {\n", f.RetType)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Preds) > 0 {
+			sb.WriteString("  ; preds:")
+			for _, p := range b.Preds {
+				fmt.Fprintf(&sb, " b%d", p.ID)
+			}
+		}
+		if b.LoopDepth > 0 {
+			fmt.Fprintf(&sb, " ; depth=%d", b.LoopDepth)
+		}
+		sb.WriteByte('\n')
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", in.NumberedString())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Verify checks structural invariants of the function:
+//   - every block ends with exactly one terminator (and only the last
+//     instruction is a terminator),
+//   - successor counts match the terminator kind,
+//   - operand and destination registers are well typed,
+//   - predecessor lists are consistent with successor lists.
+func (f *Func) Verify() error {
+	preds := make(map[*Block]map[*Block]int)
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s: block b%d is empty", f.Name, b.ID)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("%s: b%d instr %d (%s): terminator placement", f.Name, b.ID, i, in)
+			}
+			if err := f.verifyInstr(in); err != nil {
+				return fmt.Errorf("%s: b%d: %v", f.Name, b.ID, err)
+			}
+		}
+		term := b.Instrs[len(b.Instrs)-1]
+		want := 0
+		switch term.Op {
+		case OpBr:
+			want = 2
+		case OpJmp:
+			want = 1
+		case OpRet:
+			want = 0
+		}
+		if len(b.Succs) != want {
+			return fmt.Errorf("%s: b%d: %s has %d successors, want %d", f.Name, b.ID, term.Op, len(b.Succs), want)
+		}
+		for _, s := range b.Succs {
+			if preds[s] == nil {
+				preds[s] = make(map[*Block]int)
+			}
+			preds[s][b]++
+		}
+	}
+	for _, b := range f.Blocks {
+		seen := make(map[*Block]int)
+		for _, p := range b.Preds {
+			seen[p]++
+		}
+		for p, n := range preds[b] {
+			if seen[p] != n {
+				return fmt.Errorf("%s: b%d: pred list inconsistent with succ of b%d", f.Name, b.ID, p.ID)
+			}
+		}
+		for p, n := range seen {
+			if preds[b][p] != n {
+				return fmt.Errorf("%s: b%d: stale pred b%d", f.Name, b.ID, p.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Func) verifyInstr(in *Instr) error {
+	checkType := func(v VReg, want Type) error {
+		got := f.VRegType(v)
+		if got != want {
+			return fmt.Errorf("instr %q: register %s has type %s, want %s", in, v, got, want)
+		}
+		return nil
+	}
+	nargs := func(n int) error {
+		if len(in.Args) != n {
+			return fmt.Errorf("instr %q: %d args, want %d", in, len(in.Args), n)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpNop:
+		return nil
+	case OpConst:
+		if in.Dst == 0 {
+			return fmt.Errorf("instr %q: const without dst", in)
+		}
+		want := I64
+		if in.IsFloat {
+			want = F64
+		}
+		return checkType(in.Dst, want)
+	case OpCopy:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if f.VRegType(in.Dst) != f.VRegType(in.Args[0]) {
+			return fmt.Errorf("instr %q: copy type mismatch", in)
+		}
+		return nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpNor,
+		OpShl, OpShrA, OpShrL,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		want := 2
+		if in.ImmArg {
+			want = 1
+			switch in.Op {
+			case OpMul, OpDiv, OpRem:
+				return fmt.Errorf("instr %q: no immediate form", in)
+			}
+		}
+		if err := nargs(want); err != nil {
+			return err
+		}
+		for _, a := range in.Args {
+			if err := checkType(a, I64); err != nil {
+				return err
+			}
+		}
+		return checkType(in.Dst, I64)
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		for _, a := range in.Args {
+			if err := checkType(a, F64); err != nil {
+				return err
+			}
+		}
+		return checkType(in.Dst, F64)
+	case OpFNeg:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if err := checkType(in.Args[0], F64); err != nil {
+			return err
+		}
+		return checkType(in.Dst, F64)
+	case OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE, OpFCmpGT, OpFCmpGE:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		for _, a := range in.Args {
+			if err := checkType(a, F64); err != nil {
+				return err
+			}
+		}
+		return checkType(in.Dst, I64)
+	case OpCvtIF:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if err := checkType(in.Args[0], I64); err != nil {
+			return err
+		}
+		return checkType(in.Dst, F64)
+	case OpCvtFI:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if err := checkType(in.Args[0], F64); err != nil {
+			return err
+		}
+		return checkType(in.Dst, I64)
+	case OpLoad:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		if err := checkType(in.Args[0], I64); err != nil {
+			return err
+		}
+		want := I64
+		if in.IsFloat {
+			want = F64
+		}
+		return checkType(in.Dst, want)
+	case OpStore:
+		if err := nargs(2); err != nil {
+			return err
+		}
+		want := I64
+		if in.IsFloat {
+			want = F64
+		}
+		if err := checkType(in.Args[0], want); err != nil {
+			return err
+		}
+		return checkType(in.Args[1], I64)
+	case OpAddrGlobal:
+		if in.Sym == "" {
+			return fmt.Errorf("instr %q: addrg without symbol", in)
+		}
+		return checkType(in.Dst, I64)
+	case OpAddrLocal:
+		if in.Imm < 0 || in.Imm >= int64(len(f.LocalSlots)) {
+			return fmt.Errorf("instr %q: bad local slot %d", in, in.Imm)
+		}
+		return checkType(in.Dst, I64)
+	case OpCall:
+		if in.Sym == "" {
+			return fmt.Errorf("instr %q: call without symbol", in)
+		}
+		return nil
+	case OpBr:
+		if err := nargs(1); err != nil {
+			return err
+		}
+		return checkType(in.Args[0], I64)
+	case OpJmp:
+		return nargs(0)
+	case OpRet:
+		if len(in.Args) > 1 {
+			return fmt.Errorf("instr %q: ret with %d args", in, len(in.Args))
+		}
+		if len(in.Args) == 1 {
+			want := f.RetType
+			if f.VRegType(in.Args[0]) != want {
+				return fmt.Errorf("instr %q: ret type mismatch", in)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("instr %q: unknown op", in)
+}
+
+// ComputeLoopDepths estimates loop nesting depth for every block using
+// back-edge detection on a DFS tree plus natural-loop membership.
+func (f *Func) ComputeLoopDepths() {
+	// Find back edges (edge b->h where h dominates b). Use a simple
+	// iterative dominator computation (fine at our function sizes).
+	dom := f.Dominators()
+	for _, b := range f.Blocks {
+		b.LoopDepth = 0
+	}
+	for _, b := range f.Blocks {
+		for _, h := range b.Succs {
+			if dominates(dom, h, b) {
+				// Natural loop of back edge b->h: h plus all blocks that
+				// reach b without passing through h.
+				inLoop := map[*Block]bool{h: true}
+				var stack []*Block
+				if b != h {
+					inLoop[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range n.Preds {
+						if !inLoop[p] {
+							inLoop[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+				for blk := range inLoop {
+					blk.LoopDepth++
+				}
+			}
+		}
+	}
+}
+
+// Dominators returns the immediate-dominator map (entry maps to itself),
+// computed with the iterative Cooper–Harvey–Kennedy algorithm.
+func (f *Func) Dominators() map[*Block]*Block {
+	// Reverse postorder.
+	order := f.ReversePostorder()
+	index := make(map[*Block]int, len(order))
+	for i, b := range order {
+		index[b] = i
+	}
+	idom := make(map[*Block]*Block, len(order))
+	idom[f.Entry] = f.Entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+					continue
+				}
+				// intersect
+				x, y := p, newIdom
+				for x != y {
+					for index[x] > index[y] {
+						x = idom[x]
+					}
+					for index[y] > index[x] {
+						y = idom[y]
+					}
+				}
+				newIdom = x
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func dominates(idom map[*Block]*Block, a, b *Block) bool {
+	// Does a dominate b?
+	for {
+		if b == a {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return b == a
+		}
+		b = next
+	}
+}
+
+// ReversePostorder returns blocks reachable from entry in reverse postorder.
+func (f *Func) ReversePostorder() []*Block {
+	var order []*Block
+	visited := make(map[*Block]bool)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		visited[b] = true
+		for _, s := range b.Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

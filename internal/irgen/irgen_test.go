@@ -1,0 +1,217 @@
+package irgen_test
+
+import (
+	"testing"
+
+	"fpint/internal/ir"
+	"fpint/internal/irgen"
+	"fpint/internal/lang"
+)
+
+func lower(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := lang.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	mod, err := irgen.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return mod
+}
+
+func TestLoweredFunctionsVerify(t *testing.T) {
+	mod := lower(t, `
+int g[4];
+float f;
+int helper(int a, float b) { f = b; return a + 1; }
+int main() {
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		g[i] = i;
+		if (i % 2 == 0 && i > 0) s += g[i];
+		while (s > 100) s -= 7;
+	}
+	return helper(s, 1.5);
+}`)
+	if len(mod.Funcs) != 2 {
+		t.Fatalf("got %d functions", len(mod.Funcs))
+	}
+	for _, fn := range mod.Funcs {
+		if err := fn.Verify(); err != nil {
+			t.Errorf("%s: %v", fn.Name, err)
+		}
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	mod := lower(t, `
+int a;
+int b[10];
+float c[3] = {1.0, 2.0, 3.0};
+int main() { return 0; }`)
+	if len(mod.Globals) != 3 {
+		t.Fatalf("got %d globals", len(mod.Globals))
+	}
+	if mod.Global("a").Words != 1 || mod.Global("b").Words != 10 || mod.Global("c").Words != 3 {
+		t.Errorf("global sizes wrong")
+	}
+	if !mod.Global("c").IsFloat || len(mod.Global("c").InitFlt) != 3 {
+		t.Errorf("float array initializer wrong: %+v", mod.Global("c"))
+	}
+}
+
+func TestArrayIndexScalesByEight(t *testing.T) {
+	mod := lower(t, `
+int a[8];
+int main() { return a[3]; }`)
+	// Index 3 must be scaled <<3 (or folded); ensure a shl-by-3 or the
+	// constant 24 appears feeding the address.
+	fn := mod.Lookup("main")
+	found := false
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpShl {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no shift-by-3 address scaling in:\n%s", fn)
+	}
+}
+
+func TestLocalArrayUsesFrameSlot(t *testing.T) {
+	mod := lower(t, `
+int main() {
+	int buf[5];
+	buf[0] = 3;
+	return buf[0];
+}`)
+	fn := mod.Lookup("main")
+	if len(fn.LocalSlots) != 1 || fn.LocalSlots[0] != 5 {
+		t.Fatalf("local slots = %v", fn.LocalSlots)
+	}
+	found := false
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAddrLocal {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no OpAddrLocal emitted for local array")
+	}
+}
+
+func TestShortCircuitCreatesBranches(t *testing.T) {
+	mod := lower(t, `
+int x; int y;
+int main() { return (x > 0 && y > 0) ? 1 : 2; }`)
+	fn := mod.Lookup("main")
+	branches := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBr {
+				branches++
+			}
+		}
+	}
+	if branches < 2 {
+		t.Errorf("short-circuit + ternary produced %d branches, want >= 2", branches)
+	}
+}
+
+func TestVoidFunctionGetsImplicitReturn(t *testing.T) {
+	mod := lower(t, `
+int g;
+void setg(int v) { g = v; }
+int main() { setg(9); return g; }`)
+	fn := mod.Lookup("setg")
+	rets := 0
+	for _, b := range fn.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpRet {
+			rets++
+		}
+	}
+	if rets == 0 {
+		t.Error("void function lacks a return")
+	}
+}
+
+func TestMissingReturnValueSynthesized(t *testing.T) {
+	// A control path that falls off the end of an int function returns 0.
+	mod := lower(t, `
+int f(int x) { if (x > 0) return 5; }
+int main() { return f(-1) + f(1); }`)
+	fn := mod.Lookup("f")
+	if err := fn.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	for _, b := range fn.Blocks {
+		if tm := b.Terminator(); tm != nil && tm.Op == ir.OpRet && len(tm.Args) == 0 {
+			t.Error("int function has a bare return")
+		}
+	}
+}
+
+func TestBreakContinueTargets(t *testing.T) {
+	mod := lower(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		if (i == 3) continue;
+		if (i == 7) break;
+		s += i;
+	}
+	return s;
+}`)
+	fn := mod.Lookup("main")
+	if err := fn.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Loop depth must be computed for the body blocks.
+	hasLoopBlock := false
+	for _, b := range fn.Blocks {
+		if b.LoopDepth > 0 {
+			hasLoopBlock = true
+		}
+	}
+	if !hasLoopBlock {
+		t.Error("no blocks marked as loop members")
+	}
+}
+
+func TestFloatLowering(t *testing.T) {
+	mod := lower(t, `
+float v;
+int main() {
+	v = 2.5;
+	float x = v * 2.0;
+	return (int) x - (int) v;
+}`)
+	fn := mod.Lookup("main")
+	var sawFMul, sawCvt, sawFStore bool
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpFMul:
+				sawFMul = true
+			case ir.OpCvtFI:
+				sawCvt = true
+			case ir.OpStore:
+				if in.IsFloat {
+					sawFStore = true
+				}
+			}
+		}
+	}
+	if !sawFMul || !sawCvt || !sawFStore {
+		t.Errorf("float lowering incomplete: fmul=%v cvt=%v fstore=%v", sawFMul, sawCvt, sawFStore)
+	}
+}

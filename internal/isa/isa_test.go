@@ -1,0 +1,142 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpint/internal/isa"
+)
+
+// TestExtensionOpcodeCount pins the architectural claim: exactly 22 new
+// opcodes, as in the paper.
+func TestExtensionOpcodeCount(t *testing.T) {
+	ext := []isa.Opcode{
+		isa.LIA, isa.MOVA, isa.ADDA, isa.SUBA, isa.ANDA, isa.ORA, isa.XORA,
+		isa.NORA, isa.SLLA, isa.SRAA, isa.SRLA, isa.SEQA, isa.SNEA, isa.SLTA,
+		isa.SLEA, isa.SGTA, isa.SGEA, isa.BNEZA, isa.CP2FP, isa.CP2INT,
+		isa.LWFA, isa.SWFA,
+	}
+	if len(ext) != isa.NumFPaExtensionOpcodes || isa.NumFPaExtensionOpcodes != 22 {
+		t.Fatalf("extension opcode count = %d, want 22", len(ext))
+	}
+	seen := make(map[isa.Opcode]bool)
+	for _, op := range ext {
+		if seen[op] {
+			t.Fatalf("duplicate opcode %v", op)
+		}
+		seen[op] = true
+	}
+}
+
+// TestNoIntegerMulDivInFPa pins the hardware-cost decision: integer
+// multiply and divide are not supported in the FP subsystem.
+func TestNoIntegerMulDivInFPa(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.MUL, isa.DIV, isa.REM} {
+		if isa.ExecSubsystem(op) != isa.SubINT {
+			t.Errorf("%v should execute in INT only", op)
+		}
+	}
+}
+
+func TestExecSubsystemClassification(t *testing.T) {
+	cases := map[isa.Opcode]isa.Subsystem{
+		isa.ADD:    isa.SubINT,
+		isa.LW:     isa.SubINT,
+		isa.SW:     isa.SubINT,
+		isa.BNEZ:   isa.SubINT,
+		isa.JAL:    isa.SubINT,
+		isa.CP2FP:  isa.SubINT, // reads an integer register
+		isa.LWFA:   isa.SubINT, // executes in the INT load/store unit
+		isa.SWFA:   isa.SubINT,
+		isa.LD:     isa.SubINT,
+		isa.SD:     isa.SubINT,
+		isa.FADD:   isa.SubFP,
+		isa.FSLT:   isa.SubFP,
+		isa.CVTIF:  isa.SubFP,
+		isa.ADDA:   isa.SubFPa,
+		isa.BNEZA:  isa.SubFPa,
+		isa.CP2INT: isa.SubFPa, // reads an FP register
+		isa.SEQA:   isa.SubFPa,
+		isa.LIA:    isa.SubFPa,
+	}
+	for op, want := range cases {
+		if got := isa.ExecSubsystem(op); got != want {
+			t.Errorf("ExecSubsystem(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// TestFPaSingleCycle pins the §6.6 assumption: integer ops in FPa are
+// single-cycle, like their INT counterparts.
+func TestFPaSingleCycle(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.ADDA, isa.SUBA, isa.ANDA, isa.SLLA, isa.SEQA, isa.BNEZA, isa.MOVA} {
+		if isa.Latency(op) != 1 {
+			t.Errorf("Latency(%v) = %d, want 1", op, isa.Latency(op))
+		}
+	}
+	if isa.Latency(isa.MUL) != 6 || isa.Latency(isa.DIV) != 12 {
+		t.Errorf("mul/div latency wrong (Table 1: 6c mul, 12c div)")
+	}
+}
+
+func TestMemClassifiers(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.LW, isa.LD, isa.LWFA} {
+		if !isa.IsLoad(op) || isa.IsStore(op) || !isa.IsMem(op) {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	for _, op := range []isa.Opcode{isa.SW, isa.SD, isa.SWFA} {
+		if isa.IsLoad(op) || !isa.IsStore(op) || !isa.IsMem(op) {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	if isa.IsMem(isa.ADD) || isa.IsMem(isa.CP2FP) {
+		t.Error("non-memory op classified as memory")
+	}
+}
+
+func TestControlClassifiers(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.BNEZ, isa.BEQZ, isa.BNEZA} {
+		if !isa.IsCondBranch(op) || !isa.IsControl(op) {
+			t.Errorf("%v not a conditional branch", op)
+		}
+	}
+	for _, op := range []isa.Opcode{isa.J, isa.JAL, isa.JR} {
+		if !isa.IsJump(op) || isa.IsCondBranch(op) {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   isa.Inst
+		want string
+	}{
+		{isa.Inst{Op: isa.ADD, Rd: 8, Rs: 9, Rt: 10}, "add $8, $9, $10"},
+		{isa.Inst{Op: isa.ADD, Rd: 8, Rs: 9, Imm: 5, UseImm: true}, "add $8, $9, 5"},
+		{isa.Inst{Op: isa.ADDA, Rd: 4, Rs: 5, Rt: 6}, "add,a $f4, $f5, $f6"},
+		{isa.Inst{Op: isa.LW, Rd: 8, Rs: 29, Imm: 16}, "lw $8, 16($29)"},
+		{isa.Inst{Op: isa.LWFA, Rd: 3, Rs: 29, Imm: 8}, "lw,a $f3, 8($29)"},
+		{isa.Inst{Op: isa.SWFA, Rs: 3, Rt: 29, Imm: 8}, "sw,a $f3, 8($29)"},
+		{isa.Inst{Op: isa.CP2FP, Rd: 2, Rs: 16}, "cp2fp $f2, $16"},
+		{isa.Inst{Op: isa.CP2INT, Rd: 16, Rs: 2}, "cp2int $16, $f2"},
+		{isa.Inst{Op: isa.BNEZA, Rs: 4, Target: 12}, "bnez,a $f4, @12"},
+		{isa.Inst{Op: isa.LI, Rd: 8, Imm: -7}, "li $8, -7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAllOpcodesHaveNames(t *testing.T) {
+	// Every opcode through SWFA must disassemble to something other than
+	// the fallback.
+	for op := isa.NOP; op <= isa.SWFA; op++ {
+		if strings.HasPrefix(op.String(), "op") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}

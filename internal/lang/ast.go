@@ -1,0 +1,311 @@
+package lang
+
+// Type is the source-level type of an expression or declaration.
+type Type int
+
+// Source types. All scalars occupy one 8-byte word.
+const (
+	TypeVoid  Type = iota
+	TypeInt        // 64-bit signed integer
+	TypeFloat      // 64-bit IEEE float
+	TypeIntArray
+	TypeFloatArray
+)
+
+// String returns the C-like spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeIntArray:
+		return "int[]"
+	case TypeFloatArray:
+		return "float[]"
+	}
+	return "?"
+}
+
+// Elem returns the element type of an array type.
+func (t Type) Elem() Type {
+	switch t {
+	case TypeIntArray:
+		return TypeInt
+	case TypeFloatArray:
+		return TypeFloat
+	}
+	return TypeVoid
+}
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t == TypeIntArray || t == TypeFloatArray }
+
+// Program is a whole translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a file-scope variable or array declaration.
+type GlobalDecl struct {
+	Name     string
+	Type     Type
+	ArrayLen int64   // number of elements when Type.IsArray()
+	InitInt  []int64 // optional initializer (scalar: len 1)
+	InitFlt  []float64
+	Pos      Pos
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type // scalar or array (arrays are passed by reference/address)
+	Pos  Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []*Param
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDeclStmt declares a local variable, optionally initialized.
+type VarDeclStmt struct {
+	Name string
+	Type Type
+	// Local arrays are supported with a constant length.
+	ArrayLen int64
+	Init     Expr // nil when absent
+	Pos      Pos
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt is `if (cond) then else else_`.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+	Pos  Pos
+}
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// DoWhileStmt is `do body while (cond);`.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	Pos  Pos
+}
+
+// ForStmt is `for (init; cond; post) body`. Any of init/cond/post may be nil.
+type ForStmt struct {
+	Init Stmt // VarDeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// ReturnStmt is `return x;` (x may be nil).
+type ReturnStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes. Types are filled in by the
+// checker.
+type Expr interface {
+	exprNode()
+	// ExprType returns the checked type (valid after Check).
+	ExprType() Type
+}
+
+type typedExpr struct{ typ Type }
+
+func (t *typedExpr) ExprType() Type  { return t.typ }
+func (t *typedExpr) setType(ty Type) { t.typ = ty }
+
+// SetType records the checked type of a synthesized node; used by lowering
+// when it fabricates AST fragments (e.g. the `1` in `x++`).
+func (t *typedExpr) SetType(ty Type) { t.typ = ty }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typedExpr
+	Val int64
+	Pos Pos
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	typedExpr
+	Val float64
+	Pos Pos
+}
+
+// Ident references a variable (local, parameter, or global).
+type Ident struct {
+	typedExpr
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is `base[idx]`.
+type IndexExpr struct {
+	typedExpr
+	Base *Ident
+	Idx  Expr
+	Pos  Pos
+}
+
+// CallExpr is `fn(args...)`.
+type CallExpr struct {
+	typedExpr
+	Fn   string
+	Args []Expr
+	Pos  Pos
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UnNeg    UnaryOp = iota // -x
+	UnNot                   // !x
+	UnBitNot                // ~x
+)
+
+// UnaryExpr is a unary operation.
+type UnaryExpr struct {
+	typedExpr
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinEq
+	BinNe
+	BinLAnd // && (short circuit)
+	BinLOr  // || (short circuit)
+)
+
+var binOpNames = [...]string{
+	BinAdd: "+", BinSub: "-", BinMul: "*", BinDiv: "/", BinRem: "%",
+	BinAnd: "&", BinOr: "|", BinXor: "^", BinShl: "<<", BinShr: ">>",
+	BinLt: "<", BinLe: "<=", BinGt: ">", BinGe: ">=", BinEq: "==", BinNe: "!=",
+	BinLAnd: "&&", BinLOr: "||",
+}
+
+// String returns the operator's C spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	typedExpr
+	Op   BinOp
+	L, R Expr
+	Pos  Pos
+}
+
+// CondExpr is the ternary `c ? a : b`.
+type CondExpr struct {
+	typedExpr
+	Cond Expr
+	Then Expr
+	Else Expr
+	Pos  Pos
+}
+
+// AssignExpr is `lhs = rhs` or a compound assignment such as `lhs += rhs`
+// (Op holds the underlying binary operator; OpValid distinguishes plain
+// assignment). Lhs is an Ident or IndexExpr.
+type AssignExpr struct {
+	typedExpr
+	Lhs     Expr
+	Rhs     Expr
+	Op      BinOp
+	OpValid bool
+	Pos     Pos
+}
+
+// IncDecExpr is `x++` / `x--` (postfix; value semantics are statement-only
+// in this language, so the pre/post distinction is immaterial).
+type IncDecExpr struct {
+	typedExpr
+	Lhs  Expr
+	Decr bool
+	Pos  Pos
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*AssignExpr) exprNode() {}
+func (*IncDecExpr) exprNode() {}

@@ -1,0 +1,218 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpint/internal/lang"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lang.LexAll(`int main() { return 42; } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []lang.TokKind{
+		lang.TokKwInt, lang.TokIdent, lang.TokLParen, lang.TokRParen,
+		lang.TokLBrace, lang.TokKwReturn, lang.TokIntLit, lang.TokSemi,
+		lang.TokRBrace, lang.TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := `+ - * / % & | ^ ~ ! < > <= >= == != << >> && || += -= *= /= %= &= |= ^= <<= >>= ++ -- ? : =`
+	toks, err := lang.LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []lang.TokKind{
+		lang.TokPlus, lang.TokMinus, lang.TokStar, lang.TokSlash, lang.TokPercent,
+		lang.TokAmp, lang.TokPipe, lang.TokCaret, lang.TokTilde, lang.TokBang,
+		lang.TokLt, lang.TokGt, lang.TokLe, lang.TokGe, lang.TokEqEq, lang.TokNe,
+		lang.TokShl, lang.TokShr, lang.TokAndAnd, lang.TokOrOr,
+		lang.TokPlusEq, lang.TokMinusEq, lang.TokStarEq, lang.TokSlashEq,
+		lang.TokPercentEq, lang.TokAmpEq, lang.TokPipeEq, lang.TokCaretEq,
+		lang.TokShlEq, lang.TokShrEq, lang.TokPlusPlus, lang.TokMinusMinus,
+		lang.TokQuestion, lang.TokColon, lang.TokAssign, lang.TokEOF,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lang.LexAll(`0 123 0xFF 1.5 2.0e3 9.25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 0 || toks[1].Int != 123 || toks[2].Int != 255 {
+		t.Errorf("int literals wrong: %v %v %v", toks[0].Int, toks[1].Int, toks[2].Int)
+	}
+	if toks[3].Kind != lang.TokFloatLit || toks[3].Flt != 1.5 {
+		t.Errorf("float literal 1.5 wrong: %+v", toks[3])
+	}
+	if toks[4].Flt != 2000 {
+		t.Errorf("2.0e3 = %v", toks[4].Flt)
+	}
+	if toks[5].Flt != 9.25 {
+		t.Errorf("9.25 = %v", toks[5].Flt)
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks, err := lang.LexAll("int /* a\nmultiline\ncomment */ x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Text != "x" {
+		t.Fatalf("unexpected tokens: %+v", toks)
+	}
+	if _, err := lang.LexAll("/* unterminated"); err == nil {
+		t.Error("unterminated comment not diagnosed")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lang.LexAll("int @ x"); err == nil {
+		t.Error("bad character not diagnosed")
+	}
+}
+
+func parseOK(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func TestParseGlobalForms(t *testing.T) {
+	p := parseOK(t, `
+int a;
+int b = 7;
+int c = -3;
+int tab[4] = {1, 2, 3, 4};
+float f = 1.5;
+float g = -2.5;
+float v[3] = {0.5, 1.5, 2.5};
+int main() { return a + b + c + tab[0]; }
+`)
+	if len(p.Globals) != 7 {
+		t.Fatalf("got %d globals", len(p.Globals))
+	}
+	if p.Globals[2].InitInt[0] != -3 {
+		t.Errorf("negative initializer: %v", p.Globals[2].InitInt)
+	}
+	if p.Globals[5].InitFlt[0] != -2.5 {
+		t.Errorf("negative float initializer: %v", p.Globals[5].InitFlt)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 2 + 3 * 4 == 14, (2+3)*4 == 20, shift binds looser than +.
+	p := parseOK(t, `int main() { return 2 + 3 * 4 + (1 << 2 + 1); }`)
+	_ = p
+}
+
+func TestParseStatements(t *testing.T) {
+	parseOK(t, `
+int g;
+void f() {}
+int main() {
+	int x = 0;
+	if (x) x = 1; else x = 2;
+	while (x < 10) x++;
+	do x--; while (x > 0);
+	for (int i = 0; i < 3; i++) g += i;
+	for (;;) break;
+	;
+	{ int y = 1; g += y; }
+	return g;
+}`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return 1 }`,       // missing semicolon
+		`int main() { if x return 1; }`, // missing parens
+		`int main( { return 1; }`,       // bad params
+		`int main() { return (1; }`,     // unbalanced
+		`int 3x;`,                       // bad name
+		`int main() {`,                  // unterminated block
+	}
+	for _, src := range cases {
+		if _, err := lang.Parse(src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":          `int f() { return 0; }`,
+		"undeclared":       `int main() { return x; }`,
+		"dup global":       `int a; int a; int main() { return 0; }`,
+		"dup func":         `int f() { return 0; } int f() { return 1; } int main() { return 0; }`,
+		"redeclare local":  `int main() { int x = 1; int x = 2; return x; }`,
+		"type mismatch":    `int main() { float f = 1.5; return 1 + f; }`,
+		"bad arg count":    `int f(int a) { return a; } int main() { return f(1, 2); }`,
+		"bad arg type":     `int f(int a) { return a; } int main() { return f(1.5); }`,
+		"float condition":  `int main() { if (1.5) return 1; return 0; }`,
+		"index non-array":  `int main() { int x = 0; return x[0]; }`,
+		"float index":      `int a[3]; int main() { return a[1.5]; }`,
+		"assign to array":  `int a[3]; int b[3]; int main() { a = b; return 0; }`,
+		"break outside":    `int main() { break; return 0; }`,
+		"continue outside": `int main() { continue; return 0; }`,
+		"void return":      `void f() { return 1; } int main() { return 0; }`,
+		"missing return v": `int f() { return; } int main() { return 0; }`,
+		"mod on float":     `int main() { float a = 1.0; float b = a % a; return 0; }`,
+		"shift on float":   `int main() { float a = 1.0; float b = a << a; return 0; }`,
+		"call undefined":   `int main() { return g(); }`,
+	}
+	for name, src := range cases {
+		p, err := lang.Parse(src)
+		if err != nil {
+			continue // parse error also acceptable for malformed cases
+		}
+		if err := lang.Check(p); err == nil {
+			t.Errorf("%s: no check error", name)
+		}
+	}
+}
+
+func TestCheckTernaryTypes(t *testing.T) {
+	if _, err := lang.Parse(`int main() { return 1 ? 2 : 3; }`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lang.Parse(`int main() { float f = 1 ? 2.0 : 3; return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(p); err == nil {
+		t.Error("mismatched ternary arms not diagnosed")
+	}
+}
+
+func TestPosInErrors(t *testing.T) {
+	_, err := lang.Parse("int main() {\n  return @;\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}

@@ -1,0 +1,275 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer converts source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return fmt.Errorf("%s: unterminated block comment", start)
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: p}, nil
+	}
+	c := l.peek()
+
+	if isAlpha(c) {
+		start := l.off
+		for l.off < len(l.src) && isAlnum(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: p}, nil
+	}
+
+	if isDigit(c) {
+		return l.lexNumber(p)
+	}
+
+	// Operators and punctuation.
+	l.advance()
+	two := func(nextCh byte, withKind, withoutKind TokKind) Token {
+		if l.peek() == nextCh {
+			l.advance()
+			return Token{Kind: withKind, Pos: p}
+		}
+		return Token{Kind: withoutKind, Pos: p}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: p}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: p}, nil
+	case '?':
+		return Token{Kind: TokQuestion, Pos: p}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: p}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: TokPlusPlus, Pos: p}, nil
+		}
+		return two('=', TokPlusEq, TokPlus), nil
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: TokMinusMinus, Pos: p}, nil
+		}
+		return two('=', TokMinusEq, TokMinus), nil
+	case '*':
+		return two('=', TokStarEq, TokStar), nil
+	case '/':
+		return two('=', TokSlashEq, TokSlash), nil
+	case '%':
+		return two('=', TokPercentEq, TokPercent), nil
+	case '^':
+		return two('=', TokCaretEq, TokCaret), nil
+	case '!':
+		return two('=', TokNe, TokBang), nil
+	case '=':
+		return two('=', TokEqEq, TokAssign), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: TokAndAnd, Pos: p}, nil
+		}
+		return two('=', TokAmpEq, TokAmp), nil
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: TokOrOr, Pos: p}, nil
+		}
+		return two('=', TokPipeEq, TokPipe), nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return two('=', TokShlEq, TokShl), nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return two('=', TokShrEq, TokShr), nil
+		}
+		return two('=', TokGe, TokGt), nil
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", p, c)
+}
+
+func (l *Lexer) lexNumber(p Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseUint(text[2:], 16, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("%s: bad hex literal %q: %v", p, text, err)
+		}
+		return Token{Kind: TokIntLit, Text: text, Int: int64(v), Pos: p}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		isFloatExp := false
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+			isFloatExp = true
+		}
+		if isFloatExp {
+			isFloat = true
+		} else {
+			l.off = save
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("%s: bad float literal %q: %v", p, text, err)
+		}
+		return Token{Kind: TokFloatLit, Text: text, Flt: f, Pos: p}, nil
+	}
+	v, err := strconv.ParseUint(text, 10, 64)
+	if err != nil {
+		return Token{}, fmt.Errorf("%s: bad integer literal %q: %v", p, text, err)
+	}
+	return Token{Kind: TokIntLit, Text: text, Int: int64(v), Pos: p}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// LexAll tokenizes the entire input, returning the tokens including a
+// trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,704 @@
+package lang
+
+import "fmt"
+
+// Parser builds an AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekKind(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%s: expected %s, found %s", t.Pos, k, t.Kind)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.peekKind(TokEOF) {
+		typ, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.peekKind(TokLParen) {
+			fn, err := p.parseFuncRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		} else {
+			g, err := p.parseGlobalRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseTypeName() (Type, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokKwInt:
+		return TypeInt, nil
+	case TokKwFloat:
+		return TypeFloat, nil
+	case TokKwVoid:
+		return TypeVoid, nil
+	}
+	return TypeVoid, fmt.Errorf("%s: expected type name, found %s", t.Pos, t.Kind)
+}
+
+// parseGlobalRest parses the remainder of a global declaration after
+// `type ident`.
+func (p *Parser) parseGlobalRest(typ Type, name Token) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: name.Text, Type: typ, Pos: name.Pos}
+	if p.accept(TokLBracket) {
+		lenTok, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		g.ArrayLen = lenTok.Int
+		switch typ {
+		case TypeInt:
+			g.Type = TypeIntArray
+		case TypeFloat:
+			g.Type = TypeFloatArray
+		default:
+			return nil, fmt.Errorf("%s: array of %s not allowed", name.Pos, typ)
+		}
+	}
+	if p.accept(TokAssign) {
+		if p.accept(TokLBrace) {
+			for {
+				if err := p.parseGlobalInitValue(g); err != nil {
+					return nil, err
+				}
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := p.parseGlobalInitValue(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseGlobalInitValue(g *GlobalDecl) error {
+	neg := false
+	if p.accept(TokMinus) {
+		neg = true
+	}
+	t := p.next()
+	switch t.Kind {
+	case TokIntLit:
+		v := t.Int
+		if neg {
+			v = -v
+		}
+		if g.Type == TypeFloat || g.Type == TypeFloatArray {
+			g.InitFlt = append(g.InitFlt, float64(v))
+		} else {
+			g.InitInt = append(g.InitInt, v)
+		}
+		return nil
+	case TokFloatLit:
+		v := t.Flt
+		if neg {
+			v = -v
+		}
+		if g.Type != TypeFloat && g.Type != TypeFloatArray {
+			return fmt.Errorf("%s: float initializer for int global %s", t.Pos, g.Name)
+		}
+		g.InitFlt = append(g.InitFlt, v)
+		return nil
+	}
+	return fmt.Errorf("%s: expected literal initializer, found %s", t.Pos, t.Kind)
+}
+
+func (p *Parser) parseFuncRest(ret Type, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Pos: name.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(TokRParen) {
+		for {
+			if p.accept(TokKwVoid) && p.peekKind(TokRParen) {
+				break
+			}
+			pt, err := p.parseParam()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, pt)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseParam() (*Param, error) {
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if typ == TypeVoid {
+		return nil, fmt.Errorf("%s: void parameter", p.cur().Pos)
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	prm := &Param{Name: name.Text, Type: typ, Pos: name.Pos}
+	if p.accept(TokLBracket) {
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if typ == TypeInt {
+			prm.Type = TypeIntArray
+		} else {
+			prm.Type = TypeFloatArray
+		}
+	}
+	return prm, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.peekKind(TokRBrace) {
+		if p.peekKind(TokEOF) {
+			return nil, fmt.Errorf("%s: unterminated block", lb.Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // consume '}'
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwInt, TokKwFloat:
+		return p.parseVarDecl()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwDo:
+		return p.parseDoWhile()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		p.next()
+		rs := &ReturnStmt{Pos: t.Pos}
+		if !p.peekKind(TokSemi) {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = x
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case TokKwBreak:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case TokKwContinue:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case TokSemi:
+		p.next()
+		return &BlockStmt{Pos: t.Pos}, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Pos: t.Pos}, nil
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDeclStmt{Name: name.Text, Type: typ, Pos: name.Pos}
+	if p.accept(TokLBracket) {
+		lenTok, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		vd.ArrayLen = lenTok.Int
+		if typ == TypeInt {
+			vd.Type = TypeIntArray
+		} else {
+			vd.Type = TypeFloatArray
+		}
+	}
+	if p.accept(TokAssign) {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = x
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next() // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.accept(TokKwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		is.Else = els
+	}
+	return is, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next() // 'while'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+}
+
+func (p *Parser) parseDoWhile() (Stmt, error) {
+	t := p.next() // 'do'
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &DoWhileStmt{Body: body, Cond: cond, Pos: t.Pos}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next() // 'for'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: t.Pos}
+	if !p.accept(TokSemi) {
+		if p.peekKind(TokKwInt) || p.peekKind(TokKwFloat) {
+			init, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = &ExprStmt{X: x, Pos: t.Pos}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.peekKind(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.peekKind(TokRParen) {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+// Expression parsing: precedence climbing.
+//
+//	assignment:  = += -= ... (right assoc)
+//	ternary:     ?:
+//	logical-or:  ||
+//	logical-and: &&
+//	bit-or:      |
+//	bit-xor:     ^
+//	bit-and:     &
+//	equality:    == !=
+//	relational:  < <= > >=
+//	shift:       << >>
+//	additive:    + -
+//	mult:        * / %
+//	unary:       - ! ~
+//	postfix:     call, index, ++/--
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var compoundOps = map[TokKind]BinOp{
+	TokPlusEq:    BinAdd,
+	TokMinusEq:   BinSub,
+	TokStarEq:    BinMul,
+	TokSlashEq:   BinDiv,
+	TokPercentEq: BinRem,
+	TokAmpEq:     BinAnd,
+	TokPipeEq:    BinOr,
+	TokCaretEq:   BinXor,
+	TokShlEq:     BinShl,
+	TokShrEq:     BinShr,
+}
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokAssign {
+		p.next()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Lhs: lhs, Rhs: rhs, Pos: t.Pos}, nil
+	}
+	if op, ok := compoundOps[t.Kind]; ok {
+		p.next()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Lhs: lhs, Rhs: rhs, Op: op, OpValid: true, Pos: t.Pos}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind == TokQuestion {
+		p.next()
+		thn, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		els, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{Cond: cond, Then: thn, Else: els, Pos: t.Pos}, nil
+	}
+	return cond, nil
+}
+
+type binLevel struct {
+	toks map[TokKind]BinOp
+}
+
+var binLevels = []binLevel{
+	{map[TokKind]BinOp{TokOrOr: BinLOr}},
+	{map[TokKind]BinOp{TokAndAnd: BinLAnd}},
+	{map[TokKind]BinOp{TokPipe: BinOr}},
+	{map[TokKind]BinOp{TokCaret: BinXor}},
+	{map[TokKind]BinOp{TokAmp: BinAnd}},
+	{map[TokKind]BinOp{TokEqEq: BinEq, TokNe: BinNe}},
+	{map[TokKind]BinOp{TokLt: BinLt, TokLe: BinLe, TokGt: BinGt, TokGe: BinGe}},
+	{map[TokKind]BinOp{TokShl: BinShl, TokShr: BinShr}},
+	{map[TokKind]BinOp{TokPlus: BinAdd, TokMinus: BinSub}},
+	{map[TokKind]BinOp{TokStar: BinMul, TokSlash: BinDiv, TokPercent: BinRem}},
+}
+
+func (p *Parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		op, ok := binLevels[level].toks[t.Kind]
+		if !ok {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, L: lhs, R: rhs, Pos: t.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: UnNeg, X: x, Pos: t.Pos}, nil
+	case TokBang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: UnNot, X: x, Pos: t.Pos}, nil
+	case TokTilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: UnBitNot, X: x, Pos: t.Pos}, nil
+	case TokPlusPlus, TokMinusMinus:
+		// Prefix increment/decrement.
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDecExpr{Lhs: x, Decr: t.Kind == TokMinusMinus, Pos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TokPlusPlus:
+			p.next()
+			x = &IncDecExpr{Lhs: x, Pos: t.Pos}
+		case TokMinusMinus:
+			p.next()
+			x = &IncDecExpr{Lhs: x, Decr: true, Pos: t.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokIntLit:
+		return &IntLit{Val: t.Int, Pos: t.Pos}, nil
+	case TokFloatLit:
+		return &FloatLit{Val: t.Flt, Pos: t.Pos}, nil
+	case TokLParen:
+		// Cast syntax `(int) x` / `(float) x` is supported for explicit
+		// conversions.
+		if p.peekKind(TokKwInt) || p.peekKind(TokKwFloat) {
+			castTo := TypeInt
+			if p.cur().Kind == TokKwFloat {
+				castTo = TypeFloat
+			}
+			p.next()
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			// Represent casts as calls to the builtin conversions; the
+			// checker recognizes __itof / __ftoi.
+			fn := "__ftoi"
+			if castTo == TypeFloat {
+				fn = "__itof"
+			}
+			return &CallExpr{Fn: fn, Args: []Expr{x}, Pos: t.Pos}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokIdent:
+		if p.accept(TokLParen) {
+			call := &CallExpr{Fn: t.Text, Pos: t.Pos}
+			if !p.accept(TokRParen) {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		id := &Ident{Name: t.Text, Pos: t.Pos}
+		if p.accept(TokLBracket) {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Base: id, Idx: idx, Pos: t.Pos}, nil
+		}
+		return id, nil
+	}
+	return nil, fmt.Errorf("%s: unexpected token %s in expression", t.Pos, t.Kind)
+}

@@ -1,0 +1,182 @@
+// Package lang implements the frontend for the mini-C source language used
+// by the reproduction: lexer, AST, parser, and type checker.
+//
+// The language is a small, C-like subset that is rich enough to express the
+// SPECint95-style kernels the paper evaluates: 64-bit integers, 64-bit
+// floats, global scalars and arrays, functions, loops, and the usual
+// arithmetic/logical/shift/comparison operators.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+
+	// Keywords.
+	TokKwInt
+	TokKwFloat
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwDo
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+
+	// Operators.
+	TokAssign     // =
+	TokPlus       // +
+	TokMinus      // -
+	TokStar       // *
+	TokSlash      // /
+	TokPercent    // %
+	TokAmp        // &
+	TokPipe       // |
+	TokCaret      // ^
+	TokTilde      // ~
+	TokBang       // !
+	TokLt         // <
+	TokGt         // >
+	TokLe         // <=
+	TokGe         // >=
+	TokEqEq       // ==
+	TokNe         // !=
+	TokShl        // <<
+	TokShr        // >>
+	TokAndAnd     // &&
+	TokOrOr       // ||
+	TokPlusEq     // +=
+	TokMinusEq    // -=
+	TokStarEq     // *=
+	TokSlashEq    // /=
+	TokPercentEq  // %=
+	TokAmpEq      // &=
+	TokPipeEq     // |=
+	TokCaretEq    // ^=
+	TokShlEq      // <<=
+	TokShrEq      // >>=
+	TokPlusPlus   // ++
+	TokMinusMinus // --
+	TokQuestion   // ?
+	TokColon      // :
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:        "EOF",
+	TokIdent:      "identifier",
+	TokIntLit:     "integer literal",
+	TokFloatLit:   "float literal",
+	TokKwInt:      "'int'",
+	TokKwFloat:    "'float'",
+	TokKwVoid:     "'void'",
+	TokKwIf:       "'if'",
+	TokKwElse:     "'else'",
+	TokKwWhile:    "'while'",
+	TokKwFor:      "'for'",
+	TokKwReturn:   "'return'",
+	TokKwBreak:    "'break'",
+	TokKwContinue: "'continue'",
+	TokKwDo:       "'do'",
+	TokLParen:     "'('",
+	TokRParen:     "')'",
+	TokLBrace:     "'{'",
+	TokRBrace:     "'}'",
+	TokLBracket:   "'['",
+	TokRBracket:   "']'",
+	TokComma:      "','",
+	TokSemi:       "';'",
+	TokAssign:     "'='",
+	TokPlus:       "'+'",
+	TokMinus:      "'-'",
+	TokStar:       "'*'",
+	TokSlash:      "'/'",
+	TokPercent:    "'%'",
+	TokAmp:        "'&'",
+	TokPipe:       "'|'",
+	TokCaret:      "'^'",
+	TokTilde:      "'~'",
+	TokBang:       "'!'",
+	TokLt:         "'<'",
+	TokGt:         "'>'",
+	TokLe:         "'<='",
+	TokGe:         "'>='",
+	TokEqEq:       "'=='",
+	TokNe:         "'!='",
+	TokShl:        "'<<'",
+	TokShr:        "'>>'",
+	TokAndAnd:     "'&&'",
+	TokOrOr:       "'||'",
+	TokPlusEq:     "'+='",
+	TokMinusEq:    "'-='",
+	TokStarEq:     "'*='",
+	TokSlashEq:    "'/='",
+	TokPercentEq:  "'%='",
+	TokAmpEq:      "'&='",
+	TokPipeEq:     "'|='",
+	TokCaretEq:    "'^='",
+	TokShlEq:      "'<<='",
+	TokShrEq:      "'>>='",
+	TokPlusPlus:   "'++'",
+	TokMinusMinus: "'--'",
+	TokQuestion:   "'?'",
+	TokColon:      "':'",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // raw text for identifiers and literals
+	Int  int64  // value for TokIntLit
+	Flt  float64
+	Pos  Pos
+}
+
+var keywords = map[string]TokKind{
+	"int":      TokKwInt,
+	"float":    TokKwFloat,
+	"void":     TokKwVoid,
+	"if":       TokKwIf,
+	"else":     TokKwElse,
+	"while":    TokKwWhile,
+	"for":      TokKwFor,
+	"return":   TokKwReturn,
+	"break":    TokKwBreak,
+	"continue": TokKwContinue,
+	"do":       TokKwDo,
+}

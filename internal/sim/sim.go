@@ -1,0 +1,446 @@
+// Package sim implements the ISA-level functional simulator. It executes
+// assembled programs, collects dynamic instruction statistics per subsystem
+// (the data behind Figure 8 and the §7.2 overhead numbers), and streams the
+// dynamic instruction sequence to the timing model through a callback —
+// the classic SimpleScalar-style functional-first organization.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fpint/internal/isa"
+)
+
+// MemSize is the flat memory arena (16 MiB): data segment at the bottom,
+// stack at the top growing down.
+const MemSize = 16 << 20
+
+// Event describes one committed dynamic instruction for the timing model.
+type Event struct {
+	PC      int
+	Op      isa.Opcode
+	IsDup   bool
+	Dst     int16 // encoded register: class*32+num, -1 when none
+	Src1    int16
+	Src2    int16
+	MemAddr int64 // effective address for loads/stores
+	Taken   bool  // conditional branch outcome
+	NextPC  int   // PC of the next dynamic instruction
+}
+
+// EncodeReg packs a register reference for Event fields.
+func EncodeReg(class isa.RegClass, n uint8) int16 {
+	return int16(class)*32 + int16(n)
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Total    int64 // dynamic instructions (HALT excluded)
+	BySubsys [3]int64
+	Loads    int64
+	Stores   int64
+	Branches int64 // conditional branches
+	Copies   int64 // CP2FP + CP2INT executed
+	Dups     int64 // duplicated instructions executed
+	ByOp     map[isa.Opcode]int64
+}
+
+// OffloadFraction returns the fraction of dynamic instructions executed by
+// the augmented FP subsystem (Figure 8's metric).
+func (s *Stats) OffloadFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.BySubsys[isa.SubFPa]) / float64(s.Total)
+}
+
+// Result of a functional run.
+type Result struct {
+	Ret    int64 // value returned by main (register V0 at HALT)
+	Output string
+	Stats  Stats
+}
+
+// Machine is the functional simulator state.
+type Machine struct {
+	prog *isa.Program
+
+	R  [32]int64  // integer registers
+	F  [32]uint64 // FP registers (raw 64-bit patterns)
+	PC int
+
+	mem []byte
+	out strings.Builder
+
+	maxSteps int64
+
+	// Trace receives every committed instruction when non-nil.
+	Trace func(Event)
+}
+
+// New builds a machine with the program's data segment initialized.
+func New(prog *isa.Program) *Machine {
+	m := &Machine{prog: prog, mem: make([]byte, MemSize), maxSteps: 4_000_000_000}
+	for addr, w := range prog.DataWords {
+		m.storeWord(addr, w)
+	}
+	m.R[isa.RegSP] = MemSize - 64
+	return m
+}
+
+// SetStepLimit bounds the dynamic instruction count.
+func (m *Machine) SetStepLimit(n int64) { m.maxSteps = n }
+
+func (m *Machine) storeWord(addr int64, w uint64) {
+	for i := 0; i < 8; i++ {
+		m.mem[addr+int64(i)] = byte(w >> (8 * uint(i)))
+	}
+}
+
+func (m *Machine) loadWord(addr int64) uint64 {
+	var w uint64
+	for i := 7; i >= 0; i-- {
+		w = w<<8 | uint64(m.mem[addr+int64(i)])
+	}
+	return w
+}
+
+// ReadGlobalInt reads word idx of a global after a run.
+func (m *Machine) ReadGlobalInt(name string, idx int64) int64 {
+	return int64(m.loadWord(m.prog.GlobalAddr[name] + idx*8))
+}
+
+const noRegEnc = int16(-1)
+
+// Run executes the program from the start stub until HALT.
+func (m *Machine) Run() (*Result, error) {
+	st := Stats{ByOp: make(map[isa.Opcode]int64)}
+	insts := m.prog.Insts
+	var steps int64
+	for {
+		if m.PC < 0 || m.PC >= len(insts) {
+			return nil, fmt.Errorf("sim: PC %d out of range", m.PC)
+		}
+		in := &insts[m.PC]
+		if in.Op == isa.HALT {
+			res := &Result{Ret: m.R[isa.RegV0], Output: m.out.String(), Stats: st}
+			return res, nil
+		}
+		steps++
+		if steps > m.maxSteps {
+			return nil, fmt.Errorf("sim: step limit exceeded at PC %d", m.PC)
+		}
+
+		ev := Event{PC: m.PC, Op: in.Op, IsDup: in.IsDup, Dst: noRegEnc, Src1: noRegEnc, Src2: noRegEnc}
+		nextPC := m.PC + 1
+		taken := false
+
+		ir := func(n uint8) int64 { return m.R[n] }
+		fr := func(n uint8) uint64 { return m.F[n] }
+		fi := func(n uint8) int64 { return int64(m.F[n]) }
+		ff := func(n uint8) float64 { return math.Float64frombits(m.F[n]) }
+		setR := func(n uint8, v int64) {
+			if n != isa.RegZero {
+				m.R[n] = v
+			}
+			ev.Dst = EncodeReg(isa.IntReg, n)
+		}
+		setF := func(n uint8, v uint64) {
+			m.F[n] = v
+			ev.Dst = EncodeReg(isa.FpReg, n)
+		}
+		setFf := func(n uint8, v float64) { setF(n, math.Float64bits(v)) }
+		srcI := func(n uint8) {
+			if ev.Src1 == noRegEnc {
+				ev.Src1 = EncodeReg(isa.IntReg, n)
+			} else {
+				ev.Src2 = EncodeReg(isa.IntReg, n)
+			}
+		}
+		srcF := func(n uint8) {
+			if ev.Src1 == noRegEnc {
+				ev.Src1 = EncodeReg(isa.FpReg, n)
+			} else {
+				ev.Src2 = EncodeReg(isa.FpReg, n)
+			}
+		}
+		memAccess := func(addr int64) error {
+			if addr < 0 || addr+8 > MemSize {
+				return fmt.Errorf("sim: memory access %#x out of range at PC %d (%s)", addr, m.PC, in)
+			}
+			ev.MemAddr = addr
+			return nil
+		}
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.LI:
+			setR(in.Rd, in.Imm)
+		case isa.MOV:
+			srcI(in.Rs)
+			setR(in.Rd, ir(in.Rs))
+		case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR,
+			isa.XOR, isa.NOR, isa.SLL, isa.SRA, isa.SRL,
+			isa.SEQ, isa.SNE, isa.SLT, isa.SLE, isa.SGT, isa.SGE:
+			srcI(in.Rs)
+			b := in.Imm
+			if !in.UseImm {
+				srcI(in.Rt)
+				b = ir(in.Rt)
+			}
+			v, err := intALU(in.Op, ir(in.Rs), b, m.PC)
+			if err != nil {
+				return nil, err
+			}
+			setR(in.Rd, v)
+		case isa.LW:
+			srcI(in.Rs)
+			addr := ir(in.Rs) + in.Imm
+			if err := memAccess(addr); err != nil {
+				return nil, err
+			}
+			setR(in.Rd, int64(m.loadWord(addr)))
+			st.Loads++
+		case isa.SW:
+			srcI(in.Rs)
+			srcI(in.Rt)
+			addr := ir(in.Rt) + in.Imm
+			if err := memAccess(addr); err != nil {
+				return nil, err
+			}
+			m.storeWord(addr, uint64(ir(in.Rs)))
+			st.Stores++
+		case isa.BNEZ:
+			srcI(in.Rs)
+			taken = ir(in.Rs) != 0
+			if taken {
+				nextPC = in.Target
+			}
+			st.Branches++
+		case isa.BEQZ:
+			srcI(in.Rs)
+			taken = ir(in.Rs) == 0
+			if taken {
+				nextPC = in.Target
+			}
+			st.Branches++
+		case isa.J:
+			nextPC = in.Target
+		case isa.JAL:
+			setR(isa.RegRA, int64(m.PC+1))
+			nextPC = in.Target
+		case isa.JR:
+			srcI(in.Rs)
+			nextPC = int(ir(in.Rs))
+		case isa.PRNI:
+			srcI(in.Rs)
+			fmt.Fprintf(&m.out, "%d\n", ir(in.Rs))
+		case isa.PRNF:
+			srcF(in.Rs)
+			fmt.Fprintf(&m.out, "%.6g\n", ff(in.Rs))
+
+		case isa.LID:
+			setFf(in.Rd, in.FImm)
+		case isa.FMOV:
+			srcF(in.Rs)
+			setF(in.Rd, fr(in.Rs))
+		case isa.FADD:
+			srcF(in.Rs)
+			srcF(in.Rt)
+			setFf(in.Rd, ff(in.Rs)+ff(in.Rt))
+		case isa.FSUB:
+			srcF(in.Rs)
+			srcF(in.Rt)
+			setFf(in.Rd, ff(in.Rs)-ff(in.Rt))
+		case isa.FMUL:
+			srcF(in.Rs)
+			srcF(in.Rt)
+			setFf(in.Rd, ff(in.Rs)*ff(in.Rt))
+		case isa.FDIV:
+			srcF(in.Rs)
+			srcF(in.Rt)
+			setFf(in.Rd, ff(in.Rs)/ff(in.Rt))
+		case isa.FNEG:
+			srcF(in.Rs)
+			setFf(in.Rd, -ff(in.Rs))
+		case isa.FSEQ, isa.FSNE, isa.FSLT, isa.FSLE, isa.FSGT, isa.FSGE:
+			srcF(in.Rs)
+			srcF(in.Rt)
+			setR(in.Rd, fcmp(in.Op, ff(in.Rs), ff(in.Rt)))
+		case isa.CVTIF:
+			srcI(in.Rs)
+			setFf(in.Rd, float64(ir(in.Rs)))
+		case isa.CVTFI:
+			srcF(in.Rs)
+			setR(in.Rd, int64(ff(in.Rs)))
+		case isa.LD:
+			srcI(in.Rs)
+			addr := ir(in.Rs) + in.Imm
+			if err := memAccess(addr); err != nil {
+				return nil, err
+			}
+			setF(in.Rd, m.loadWord(addr))
+			st.Loads++
+		case isa.SD:
+			srcF(in.Rs)
+			srcI(in.Rt)
+			addr := ir(in.Rt) + in.Imm
+			if err := memAccess(addr); err != nil {
+				return nil, err
+			}
+			m.storeWord(addr, fr(in.Rs))
+			st.Stores++
+
+		case isa.LIA:
+			setF(in.Rd, uint64(in.Imm))
+		case isa.MOVA:
+			srcF(in.Rs)
+			setF(in.Rd, fr(in.Rs))
+		case isa.ADDA, isa.SUBA, isa.ANDA, isa.ORA, isa.XORA, isa.NORA,
+			isa.SLLA, isa.SRAA, isa.SRLA,
+			isa.SEQA, isa.SNEA, isa.SLTA, isa.SLEA, isa.SGTA, isa.SGEA:
+			srcF(in.Rs)
+			b := in.Imm
+			if !in.UseImm {
+				srcF(in.Rt)
+				b = fi(in.Rt)
+			}
+			v, err := intALU(fpaToInt[in.Op], fi(in.Rs), b, m.PC)
+			if err != nil {
+				return nil, err
+			}
+			setF(in.Rd, uint64(v))
+		case isa.BNEZA:
+			srcF(in.Rs)
+			taken = fi(in.Rs) != 0
+			if taken {
+				nextPC = in.Target
+			}
+			st.Branches++
+		case isa.CP2FP:
+			srcI(in.Rs)
+			setF(in.Rd, uint64(ir(in.Rs)))
+		case isa.CP2INT:
+			srcF(in.Rs)
+			setR(in.Rd, fi(in.Rs))
+		case isa.LWFA:
+			srcI(in.Rs)
+			addr := ir(in.Rs) + in.Imm
+			if err := memAccess(addr); err != nil {
+				return nil, err
+			}
+			setF(in.Rd, m.loadWord(addr))
+			st.Loads++
+		case isa.SWFA:
+			srcF(in.Rs)
+			srcI(in.Rt)
+			addr := ir(in.Rt) + in.Imm
+			if err := memAccess(addr); err != nil {
+				return nil, err
+			}
+			m.storeWord(addr, fr(in.Rs))
+			st.Stores++
+		default:
+			return nil, fmt.Errorf("sim: unimplemented opcode %s at PC %d", in.Op, m.PC)
+		}
+
+		st.Total++
+		st.BySubsys[isa.ExecSubsystem(in.Op)]++
+		st.ByOp[in.Op]++
+		if in.Op == isa.CP2FP || in.Op == isa.CP2INT {
+			st.Copies++
+		}
+		if in.IsDup {
+			st.Dups++
+		}
+		ev.Taken = taken
+		ev.NextPC = nextPC
+		if m.Trace != nil {
+			m.Trace(ev)
+		}
+		m.PC = nextPC
+	}
+}
+
+func intALU(op isa.Opcode, a, b int64, pc int) (int64, error) {
+	switch op {
+	case isa.ADD:
+		return a + b, nil
+	case isa.SUB:
+		return a - b, nil
+	case isa.MUL:
+		return a * b, nil
+	case isa.DIV:
+		if b == 0 {
+			return 0, fmt.Errorf("sim: integer divide by zero at PC %d", pc)
+		}
+		return a / b, nil
+	case isa.REM:
+		if b == 0 {
+			return 0, fmt.Errorf("sim: integer remainder by zero at PC %d", pc)
+		}
+		return a % b, nil
+	case isa.AND:
+		return a & b, nil
+	case isa.OR:
+		return a | b, nil
+	case isa.XOR:
+		return a ^ b, nil
+	case isa.NOR:
+		return ^(a | b), nil
+	case isa.SLL:
+		return a << uint(b&63), nil
+	case isa.SRA:
+		return a >> uint(b&63), nil
+	case isa.SRL:
+		return int64(uint64(a) >> uint(b&63)), nil
+	case isa.SEQ:
+		return b2i(a == b), nil
+	case isa.SNE:
+		return b2i(a != b), nil
+	case isa.SLT:
+		return b2i(a < b), nil
+	case isa.SLE:
+		return b2i(a <= b), nil
+	case isa.SGT:
+		return b2i(a > b), nil
+	case isa.SGE:
+		return b2i(a >= b), nil
+	}
+	return 0, fmt.Errorf("sim: bad ALU op %s", op)
+}
+
+var fpaToInt = map[isa.Opcode]isa.Opcode{
+	isa.ADDA: isa.ADD, isa.SUBA: isa.SUB, isa.ANDA: isa.AND, isa.ORA: isa.OR,
+	isa.XORA: isa.XOR, isa.NORA: isa.NOR, isa.SLLA: isa.SLL,
+	isa.SRAA: isa.SRA, isa.SRLA: isa.SRL,
+	isa.SEQA: isa.SEQ, isa.SNEA: isa.SNE, isa.SLTA: isa.SLT,
+	isa.SLEA: isa.SLE, isa.SGTA: isa.SGT, isa.SGEA: isa.SGE,
+}
+
+func fcmp(op isa.Opcode, a, b float64) int64 {
+	switch op {
+	case isa.FSEQ:
+		return b2i(a == b)
+	case isa.FSNE:
+		return b2i(a != b)
+	case isa.FSLT:
+		return b2i(a < b)
+	case isa.FSLE:
+		return b2i(a <= b)
+	case isa.FSGT:
+		return b2i(a > b)
+	case isa.FSGE:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

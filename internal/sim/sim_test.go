@@ -1,0 +1,242 @@
+package sim_test
+
+import (
+	"testing"
+
+	"fpint/internal/isa"
+	"fpint/internal/sim"
+)
+
+// prog assembles a raw instruction sequence with a standard start stub:
+// index 0 jumps to main at index 2, and HALT sits at index 1.
+func prog(insts ...isa.Inst) *isa.Program {
+	all := append([]isa.Inst{
+		{Op: isa.JAL, Target: 2},
+		{Op: isa.HALT},
+	}, insts...)
+	p := &isa.Program{
+		Insts:      all,
+		FuncEntry:  map[string]int{"main": 2},
+		GlobalAddr: map[string]int64{},
+		DataWords:  map[int64]uint64{},
+		DataTop:    8,
+	}
+	for range all {
+		p.FuncOf = append(p.FuncOf, "main")
+	}
+	return p
+}
+
+func run(t *testing.T, p *isa.Program) *sim.Result {
+	t.Helper()
+	m := sim.New(p)
+	m.SetStepLimit(1_000_000)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestHandAssembledALU(t *testing.T) {
+	res := run(t, prog(
+		isa.Inst{Op: isa.LI, Rd: 8, Imm: 40},
+		isa.Inst{Op: isa.LI, Rd: 9, Imm: 2},
+		isa.Inst{Op: isa.ADD, Rd: 2, Rs: 8, Rt: 9},
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Ret != 42 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestImmediateForms(t *testing.T) {
+	res := run(t, prog(
+		isa.Inst{Op: isa.LI, Rd: 8, Imm: 10},
+		isa.Inst{Op: isa.SLL, Rd: 8, Rs: 8, Imm: 2, UseImm: true},  // 40
+		isa.Inst{Op: isa.ADD, Rd: 8, Rs: 8, Imm: -5, UseImm: true}, // 35
+		isa.Inst{Op: isa.SGT, Rd: 2, Rs: 8, Imm: 34, UseImm: true}, // 1
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Ret != 1 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestFPaRoundTrip(t *testing.T) {
+	// Move an int into the FP file, operate there, move it back.
+	res := run(t, prog(
+		isa.Inst{Op: isa.LI, Rd: 8, Imm: 6},
+		isa.Inst{Op: isa.CP2FP, Rd: 1, Rs: 8},                      // f1 = 6
+		isa.Inst{Op: isa.LIA, Rd: 2, Imm: 7},                       // f2 = 7
+		isa.Inst{Op: isa.ADDA, Rd: 3, Rs: 1, Rt: 2},                // f3 = 13
+		isa.Inst{Op: isa.SLLA, Rd: 3, Rs: 3, Imm: 1, UseImm: true}, // 26
+		isa.Inst{Op: isa.CP2INT, Rd: 2, Rs: 3},
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Ret != 26 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+	if res.Stats.BySubsys[isa.SubFPa] != 4 {
+		t.Fatalf("FPa count = %d, want 4 (lia, adda, slla, cp2int)", res.Stats.BySubsys[isa.SubFPa])
+	}
+	if res.Stats.Copies != 2 {
+		t.Fatalf("copies = %d, want 2", res.Stats.Copies)
+	}
+}
+
+func TestFPaBranch(t *testing.T) {
+	// Loop counted entirely in the FP file via BNEZA.
+	res := run(t, prog(
+		isa.Inst{Op: isa.LIA, Rd: 1, Imm: 5}, // f1 = counter
+		isa.Inst{Op: isa.LIA, Rd: 2, Imm: 0}, // f2 = sum
+		// loop at index 4:
+		isa.Inst{Op: isa.ADDA, Rd: 2, Rs: 2, Rt: 1},                 // sum += counter
+		isa.Inst{Op: isa.ADDA, Rd: 1, Rs: 1, Imm: -1, UseImm: true}, // counter--
+		isa.Inst{Op: isa.BNEZA, Rs: 1, Target: 4},
+		isa.Inst{Op: isa.CP2INT, Rd: 2, Rs: 1 + 1},
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Ret != 15 {
+		t.Fatalf("ret = %d, want 15", res.Ret)
+	}
+}
+
+func TestMemoryAndRawBits(t *testing.T) {
+	// SWFA/LW round-trip: an integer stored from the FP file reads back
+	// identically through the integer file, and vice versa.
+	res := run(t, prog(
+		isa.Inst{Op: isa.LI, Rd: 9, Imm: 1024}, // base address
+		isa.Inst{Op: isa.LIA, Rd: 1, Imm: -123456789},
+		isa.Inst{Op: isa.SWFA, Rs: 1, Rt: 9, Imm: 0},
+		isa.Inst{Op: isa.LW, Rd: 8, Rs: 9, Imm: 0},
+		isa.Inst{Op: isa.LI, Rd: 10, Imm: 7},
+		isa.Inst{Op: isa.SW, Rs: 10, Rt: 9, Imm: 8},
+		isa.Inst{Op: isa.LWFA, Rd: 2, Rs: 9, Imm: 8},
+		isa.Inst{Op: isa.CP2INT, Rd: 11, Rs: 2},
+		isa.Inst{Op: isa.ADD, Rd: 2, Rs: 8, Rt: 11}, // -123456789 + 7
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Ret != -123456782 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+	if res.Stats.Loads != 2 || res.Stats.Stores != 2 {
+		t.Fatalf("loads/stores = %d/%d", res.Stats.Loads, res.Stats.Stores)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	res := run(t, prog(
+		isa.Inst{Op: isa.LID, Rd: 1, FImm: 1.5},
+		isa.Inst{Op: isa.LID, Rd: 2, FImm: 2.5},
+		isa.Inst{Op: isa.FADD, Rd: 3, Rs: 1, Rt: 2}, // 4.0
+		isa.Inst{Op: isa.FMUL, Rd: 3, Rs: 3, Rt: 3}, // 16.0
+		isa.Inst{Op: isa.FSLT, Rd: 8, Rs: 1, Rt: 3}, // 1
+		isa.Inst{Op: isa.CVTFI, Rd: 9, Rs: 3},       // 16
+		isa.Inst{Op: isa.ADD, Rd: 2, Rs: 8, Rt: 9},  // 17
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Ret != 17 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+	if res.Stats.BySubsys[isa.SubFP] == 0 {
+		t.Fatal("no FP-subsystem instructions counted")
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	res := run(t, prog(
+		isa.Inst{Op: isa.LI, Rd: 0, Imm: 99},
+		isa.Inst{Op: isa.MOV, Rd: 2, Rs: 0},
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Ret != 0 {
+		t.Fatalf("write to $0 took effect: ret = %d", res.Ret)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	p := prog(
+		isa.Inst{Op: isa.LI, Rd: 9, Imm: 512},
+		isa.Inst{Op: isa.LI, Rd: 8, Imm: 3},
+		isa.Inst{Op: isa.SW, Rs: 8, Rt: 9, Imm: 0},
+		isa.Inst{Op: isa.LW, Rd: 2, Rs: 9, Imm: 0},
+		isa.Inst{Op: isa.BEQZ, Rs: 0, Target: 8}, // absolute index of the JR (stub adds 2)
+		isa.Inst{Op: isa.NOP},                    // skipped
+		isa.Inst{Op: isa.JR, Rs: 31},
+	)
+	m := sim.New(p)
+	var events []sim.Event
+	m.Trace = func(ev sim.Event) { events = append(events, ev) }
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Find the store and load events and the taken branch.
+	var sawStore, sawLoad, sawTaken bool
+	for _, ev := range events {
+		switch ev.Op {
+		case isa.SW:
+			sawStore = ev.MemAddr == 512
+		case isa.LW:
+			sawLoad = ev.MemAddr == 512 && ev.Dst == sim.EncodeReg(isa.IntReg, 2)
+		case isa.BEQZ:
+			sawTaken = ev.Taken && ev.NextPC == 8
+		}
+	}
+	if !sawStore || !sawLoad || !sawTaken {
+		t.Fatalf("trace events wrong: store=%v load=%v taken=%v", sawStore, sawLoad, sawTaken)
+	}
+	// Events arrive in program order with consistent NextPC chaining.
+	for i := 1; i < len(events); i++ {
+		if events[i].PC != events[i-1].NextPC {
+			t.Fatalf("event %d PC=%d but previous NextPC=%d", i, events[i].PC, events[i-1].NextPC)
+		}
+	}
+}
+
+func TestDivideByZeroTrap(t *testing.T) {
+	p := prog(
+		isa.Inst{Op: isa.LI, Rd: 8, Imm: 1},
+		isa.Inst{Op: isa.LI, Rd: 9, Imm: 0},
+		isa.Inst{Op: isa.DIV, Rd: 2, Rs: 8, Rt: 9},
+		isa.Inst{Op: isa.JR, Rs: 31},
+	)
+	if _, err := sim.New(p).Run(); err == nil {
+		t.Fatal("division by zero not diagnosed")
+	}
+}
+
+func TestOutOfRangeMemoryTrap(t *testing.T) {
+	p := prog(
+		isa.Inst{Op: isa.LI, Rd: 9, Imm: -64},
+		isa.Inst{Op: isa.LW, Rd: 2, Rs: 9, Imm: 0},
+		isa.Inst{Op: isa.JR, Rs: 31},
+	)
+	if _, err := sim.New(p).Run(); err == nil {
+		t.Fatal("negative address not diagnosed")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := prog(
+		isa.Inst{Op: isa.J, Target: 2}, // spin forever
+	)
+	m := sim.New(p)
+	m.SetStepLimit(1000)
+	if _, err := m.Run(); err == nil {
+		t.Fatal("step limit not enforced")
+	}
+}
+
+func TestPrintTraps(t *testing.T) {
+	res := run(t, prog(
+		isa.Inst{Op: isa.LI, Rd: 8, Imm: -5},
+		isa.Inst{Op: isa.PRNI, Rs: 8},
+		isa.Inst{Op: isa.LID, Rd: 1, FImm: 2.5},
+		isa.Inst{Op: isa.PRNF, Rs: 1},
+		isa.Inst{Op: isa.JR, Rs: 31},
+	))
+	if res.Output != "-5\n2.5\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}

@@ -1,0 +1,112 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/uarch"
+)
+
+// TestFPaExtraLatencyReducesBenefit verifies the §6.6 ablation: if the FP
+// subsystem cannot execute integer operations in a single cycle, the
+// partitioned code's advantage shrinks (and the baseline, which never uses
+// FPa, is unaffected).
+func TestFPaExtraLatencyReducesBenefit(t *testing.T) {
+	src := `
+int a[256];
+int b[256];
+int main() {
+	int s = 0;
+	for (int rep = 0; rep < 40; rep++) {
+		for (int i = 0; i < 256; i++) {
+			int x = a[i];
+			int y = (x ^ 21) + (x >> 3) + (x << 1) + rep;
+			int z = (y & 255) + (y >> 7) + ((x + y) ^ (x - y));
+			if (z & 1) s += z; else s ^= y;
+			b[i] = z;
+		}
+	}
+	return s & 1048575;
+}`
+	base, _, err := codegen.CompileSource(src, codegen.Options{Scheme: codegen.SchemeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, _, err := codegen.CompileSource(src, codegen.Options{Scheme: codegen.SchemeAdvanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := func(res *codegen.Result, extra int) int64 {
+		cfg := uarch.Config4Way()
+		cfg.FPaExtraLatency = extra
+		_, st, err := uarch.Run(res.Prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	base0 := cycles(base, 0)
+	base2 := cycles(base, 2)
+	if base0 != base2 {
+		t.Errorf("baseline affected by FPa latency: %d vs %d", base0, base2)
+	}
+	adv0 := cycles(adv, 0)
+	adv1 := cycles(adv, 1)
+	adv2 := cycles(adv, 2)
+	if !(adv0 <= adv1 && adv1 <= adv2) {
+		t.Errorf("FPa latency should monotonically slow the partitioned code: %d, %d, %d", adv0, adv1, adv2)
+	}
+	sp := func(advCycles int64) float64 { return float64(base0)/float64(advCycles) - 1 }
+	if sp(adv2) >= sp(adv0) {
+		t.Errorf("speedup did not shrink with extra FPa latency: %.3f vs %.3f", sp(adv2), sp(adv0))
+	}
+	t.Logf("speedup: 1-cycle FPa %+.1f%%, 2-cycle %+.1f%%, 3-cycle %+.1f%%",
+		100*sp(adv0), 100*sp(adv1), 100*sp(adv2))
+}
+
+// TestBalancedSchemeEndToEnd compiles with the §6.6 load-balance extension
+// and checks functional correctness plus the offload cap.
+func TestBalancedSchemeEndToEnd(t *testing.T) {
+	src := `
+int seed;
+int churn() {
+	int s = seed;
+	int r = 0;
+	for (int i = 0; i < 200; i++) {
+		s = (s ^ (s << 3)) + 77;
+		r = r ^ (s >> 5) ^ (r << 1);
+	}
+	seed = s;
+	return r & 65535;
+}
+int main() {
+	seed = 5;
+	int acc = 0;
+	for (int k = 0; k < 20; k++) acc ^= churn();
+	return acc;
+}`
+	adv, _, err := codegen.CompileSource(src, codegen.Options{Scheme: codegen.SchemeAdvanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, _, err := codegen.CompileSource(src, codegen.Options{Scheme: codegen.SchemeBalanced, MaxFPaFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Config4Way()
+	advOut, _, err := uarch.Run(adv.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balOut, _, err := uarch.Run(bal.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advOut.Ret != balOut.Ret {
+		t.Fatalf("balanced scheme changed the result: %d vs %d", balOut.Ret, advOut.Ret)
+	}
+	if balOut.Stats.OffloadFraction() >= advOut.Stats.OffloadFraction() {
+		t.Errorf("balanced offload %.2f not below greedy %.2f",
+			balOut.Stats.OffloadFraction(), advOut.Stats.OffloadFraction())
+	}
+}

@@ -1,0 +1,89 @@
+package uarch
+
+// Cache is a set-associative cache with LRU replacement, used for both the
+// instruction cache (64KB, 2-way, 128-byte lines) and the data cache (32KB,
+// 2-way, 32-byte lines, write-back, write-allocate) of Table 1.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+
+	tags  [][]uint64
+	valid [][]bool
+	dirty [][]bool
+	lru   [][]int64 // last-touch stamps
+	stamp int64
+
+	Accesses   int64
+	Misses     int64
+	Writebacks int64
+}
+
+// NewCache builds a cache of size bytes with the given associativity and
+// line size (both powers of two).
+func NewCache(size, ways, lineSize int) *Cache {
+	sets := size / (ways * lineSize)
+	c := &Cache{sets: sets, ways: ways}
+	for lineSize > 1 {
+		lineSize >>= 1
+		c.lineShift++
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]int64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.dirty[i] = make([]bool, ways)
+		c.lru[i] = make([]int64, ways)
+	}
+	return c
+}
+
+// Access looks up addr, filling on miss (write-allocate). write marks the
+// line dirty. It reports whether the access hit.
+func (c *Cache) Access(addr int64, write bool) bool {
+	c.Accesses++
+	c.stamp++
+	line := uint64(addr) >> c.lineShift
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.stamp
+			if write {
+				c.dirty[set][w] = true
+			}
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: evict LRU way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	if c.valid[set][victim] && c.dirty[set][victim] {
+		c.Writebacks++
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.dirty[set][victim] = write
+	c.lru[set][victim] = c.stamp
+	return false
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,70 @@
+package uarch
+
+import (
+	"fmt"
+	"strings"
+
+	"fpint/internal/isa"
+)
+
+// JournalEntry records the pipeline timing of one dynamic instruction —
+// the equivalent of SimpleScalar's ptrace facility, used to inspect how
+// the machine schedules the partitioned code.
+type JournalEntry struct {
+	Seq      int64 // dynamic instruction number
+	PC       int
+	Op       isa.Opcode
+	Sub      isa.Subsystem
+	FetchAt  int64
+	IssueAt  int64
+	DoneAt   int64
+	CommitAt int64
+	Misp     bool // mispredicted conditional branch
+}
+
+// Journal collects the first N committed instructions' timings when
+// attached to a pipeline with AttachJournal.
+type Journal struct {
+	Limit   int
+	Entries []JournalEntry
+}
+
+// AttachJournal starts recording the first limit committed instructions.
+func (p *Pipeline) AttachJournal(limit int) *Journal {
+	p.journal = &Journal{Limit: limit}
+	return p.journal
+}
+
+// record is called at commit time.
+func (j *Journal) record(seq int64, e *robEntry, commitAt int64) {
+	if j == nil || len(j.Entries) >= j.Limit {
+		return
+	}
+	j.Entries = append(j.Entries, JournalEntry{
+		Seq:      seq,
+		PC:       e.ev.PC,
+		Op:       e.ev.Op,
+		Sub:      e.sub,
+		FetchAt:  e.dispatchAt - 1,
+		IssueAt:  e.issueAt,
+		DoneAt:   e.doneAt,
+		CommitAt: commitAt,
+		Misp:     e.misp,
+	})
+}
+
+// String renders the journal as a pipetrace table.
+func (j *Journal) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%6s %6s %-8s %-4s %8s %8s %8s %8s\n",
+		"seq", "pc", "op", "sub", "fetch", "issue", "done", "commit")
+	for _, e := range j.Entries {
+		flag := ""
+		if e.Misp {
+			flag = "  <- mispredicted"
+		}
+		fmt.Fprintf(&sb, "%6d %6d %-8s %-4s %8d %8d %8d %8d%s\n",
+			e.Seq, e.PC, e.Op, e.Sub, e.FetchAt, e.IssueAt, e.DoneAt, e.CommitAt, flag)
+	}
+	return sb.String()
+}

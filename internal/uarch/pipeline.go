@@ -1,0 +1,451 @@
+package uarch
+
+import (
+	"math"
+
+	"fpint/internal/isa"
+	"fpint/internal/sim"
+)
+
+// Stats summarizes a timing simulation.
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+	Loads        int64
+	Stores       int64
+
+	// Issue activity per subsystem (instructions issued to each).
+	IssuedINT int64
+	IssuedFP  int64
+	IssuedFPa int64
+
+	// IntIdleFPaBusy counts cycles in which the INT subsystem issued
+	// nothing while the FPa subsystem issued at least one instruction —
+	// the load-imbalance signal discussed for m88ksim (§7.3).
+	IntIdleFPaBusy int64
+
+	// FetchMispredictStalls counts cycles fetch was blocked on an
+	// unresolved mispredicted branch.
+	FetchMispredictStalls int64
+	// FetchICacheStalls counts cycles fetch was blocked on I-cache misses.
+	FetchICacheStalls int64
+
+	BpredLookups     int64
+	BpredMispredicts int64
+	ICacheMissRate   float64
+	DCacheMissRate   float64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+const never = math.MaxInt64 / 4
+
+// robEntry is one in-flight dynamic instruction.
+type robEntry struct {
+	ev sim.Event
+
+	deps [2]int64 // absolute ROB indices of producers; -1 = ready
+
+	dispatchAt int64
+	issueAt    int64
+	doneAt     int64
+	dispatched bool
+	issued     bool
+
+	sub     isa.Subsystem
+	isMem   bool
+	isLoad  bool
+	isStore bool
+	isBr    bool
+	misp    bool // conditional branch that the predictor missed
+
+	hasDst   bool
+	dstClass isa.RegClass
+}
+
+// Pipeline is the trace-driven out-of-order timing model. Feed it the
+// dynamic instruction stream (in program order) and call Finish to drain.
+type Pipeline struct {
+	cfg    Config
+	bpred  *GsharePredictor
+	icache *Cache
+	dcache *Cache
+
+	cycle int64
+
+	// pending holds trace events not yet fetched.
+	pending  []sim.Event
+	pendHead int
+
+	// fetchQ holds fetched-but-not-dispatched entries (absolute indices
+	// into rob).
+	rob      []robEntry
+	robBase  int64 // absolute index of rob[0]
+	head     int64 // next absolute index to commit
+	tail     int64 // next absolute index to allocate
+	dispatch int64 // next absolute index to dispatch
+
+	// rename maps encoded architectural registers to the absolute ROB
+	// index of their most recent producer.
+	rename map[int16]int64
+
+	// Fetch state.
+	fetchBlockedOn   int64 // absolute index of unresolved mispredicted branch, -1 none
+	icacheStallUntil int64
+	lastFetchLine    int64
+
+	// Occupancy.
+	intWinCount int
+	fpWinCount  int
+	inFlight    int
+	intDefs     int
+	fpDefs      int
+
+	stats   Stats
+	done    bool
+	journal *Journal
+}
+
+// NewPipeline builds a timing model for cfg.
+func NewPipeline(cfg Config) *Pipeline {
+	return &Pipeline{
+		cfg:            cfg,
+		bpred:          NewGshare(cfg.BpredCounters, cfg.BpredHistory),
+		icache:         NewCache(cfg.ICacheSize, cfg.ICacheWays, cfg.ICacheLine),
+		dcache:         NewCache(cfg.DCacheSize, cfg.DCacheWays, cfg.DCacheLine),
+		rename:         make(map[int16]int64),
+		fetchBlockedOn: -1,
+		lastFetchLine:  -1,
+	}
+}
+
+// Feed appends one traced instruction and advances the clock as needed to
+// bound buffering. Suitable as a sim.Machine Trace callback target.
+func (p *Pipeline) Feed(ev sim.Event) {
+	p.pending = append(p.pending, ev)
+	if len(p.pending)-p.pendHead > 16384 {
+		for len(p.pending)-p.pendHead > 8192 {
+			p.step()
+		}
+		// Compact the pending buffer.
+		copy(p.pending, p.pending[p.pendHead:])
+		p.pending = p.pending[:len(p.pending)-p.pendHead]
+		p.pendHead = 0
+	}
+}
+
+// Finish drains the pipeline and returns the final statistics.
+func (p *Pipeline) Finish() Stats {
+	p.done = true
+	for p.pendHead < len(p.pending) || p.head < p.tail {
+		p.step()
+	}
+	p.stats.Cycles = p.cycle
+	p.stats.BpredLookups = p.bpred.Lookups
+	p.stats.BpredMispredicts = p.bpred.Mispredicts
+	p.stats.ICacheMissRate = p.icache.MissRate()
+	p.stats.DCacheMissRate = p.dcache.MissRate()
+	return p.stats
+}
+
+func (p *Pipeline) entry(abs int64) *robEntry {
+	return &p.rob[abs-p.robBase]
+}
+
+// step advances the machine by one cycle: commit, issue, dispatch, fetch.
+func (p *Pipeline) step() {
+	p.cycle++
+	p.commit()
+	p.issue()
+	p.dispatchStage()
+	p.fetch()
+}
+
+func (p *Pipeline) commit() {
+	for n := 0; n < p.cfg.RetireWidth && p.head < p.tail; n++ {
+		e := p.entry(p.head)
+		if !e.issued || e.doneAt > p.cycle {
+			return
+		}
+		if e.hasDst {
+			if e.dstClass == isa.IntReg {
+				p.intDefs--
+			} else {
+				p.fpDefs--
+			}
+		}
+		p.inFlight--
+		p.stats.Instructions++
+		p.journal.record(p.stats.Instructions, e, p.cycle)
+		p.head++
+	}
+	// Trim committed prefix when it grows large, keeping entries that may
+	// still be referenced as dependencies (committed entries are done by
+	// definition, so references to indices below robBase are ready).
+	if p.head-p.robBase > 8192 {
+		drop := p.head - p.robBase
+		p.rob = append(p.rob[:0], p.rob[drop:]...)
+		p.robBase = p.head
+	}
+}
+
+func (p *Pipeline) ready(e *robEntry) bool {
+	for _, d := range e.deps {
+		if d < 0 {
+			continue
+		}
+		if d < p.robBase {
+			continue // committed long ago
+		}
+		dep := p.entry(d)
+		if !dep.issued || dep.doneAt > p.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pipeline) issue() {
+	total := 0
+	intALU := 0
+	fpALU := 0
+	ports := 0
+	intIssued, fpaIssued := 0, 0
+
+	// Oldest un-issued store (for load/store ordering).
+	for abs := p.head; abs < p.tail && total < p.cfg.IssueWidth; abs++ {
+		e := p.entry(abs)
+		if !e.dispatched || e.issued || e.dispatchAt >= p.cycle {
+			continue
+		}
+		if !p.ready(e) {
+			continue
+		}
+		// Structural hazards.
+		if e.isMem {
+			if ports >= p.cfg.LdStPorts {
+				continue
+			}
+		} else if e.sub == isa.SubINT {
+			if intALU >= p.cfg.IntALUs {
+				continue
+			}
+		} else {
+			if fpALU >= p.cfg.FpALUs {
+				continue
+			}
+		}
+		if e.isLoad {
+			// Loads execute only once all prior store addresses are known
+			// (Table 1); an unissued older store blocks this load. The scan
+			// is oldest-first, so any older store either issued already or
+			// appears before this load; track via a lookback.
+			blocked := false
+			for s := p.head; s < abs; s++ {
+				se := p.entry(s)
+				if se.isStore && !se.issued {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+		}
+
+		// Issue.
+		lat := int64(isa.Latency(e.ev.Op))
+		if e.sub == isa.SubFPa && !e.isMem {
+			lat += int64(p.cfg.FPaExtraLatency)
+		}
+		if e.isLoad {
+			// Store-to-load forwarding on a word-address match.
+			forwarded := false
+			for s := p.head; s < abs; s++ {
+				se := p.entry(s)
+				if se.isStore && se.ev.MemAddr == e.ev.MemAddr {
+					forwarded = true
+				}
+			}
+			if forwarded {
+				lat = int64(p.cfg.DCacheHit)
+			} else if p.dcache.Access(e.ev.MemAddr, false) {
+				lat = int64(p.cfg.DCacheHit)
+			} else {
+				lat = int64(p.cfg.DCacheHit + p.cfg.DCacheMissPenalty)
+			}
+			p.stats.Loads++
+		} else if e.isStore {
+			p.dcache.Access(e.ev.MemAddr, true)
+			lat = 1
+			p.stats.Stores++
+		}
+		e.issued = true
+		e.issueAt = p.cycle
+		e.doneAt = p.cycle + lat
+		// Leaving the issue window frees the entry.
+		if e.sub == isa.SubINT || e.isMem {
+			p.intWinCount--
+		} else {
+			p.fpWinCount--
+		}
+		total++
+		if e.isMem {
+			ports++
+		} else if e.sub == isa.SubINT {
+			intALU++
+		} else {
+			fpALU++
+		}
+		switch e.sub {
+		case isa.SubINT:
+			p.stats.IssuedINT++
+			intIssued++
+		case isa.SubFP:
+			p.stats.IssuedFP++
+		case isa.SubFPa:
+			p.stats.IssuedFPa++
+			fpaIssued++
+		}
+		// Resolved mispredicted branch: restart fetch after completion.
+		if e.isBr && e.misp && p.fetchBlockedOn == abs {
+			// fetch resumes once doneAt passes; handled in fetch().
+		}
+	}
+	if intIssued == 0 && fpaIssued > 0 {
+		p.stats.IntIdleFPaBusy++
+	}
+}
+
+func (p *Pipeline) dispatchStage() {
+	for n := 0; n < p.cfg.DecodeWidth && p.dispatch < p.tail; n++ {
+		e := p.entry(p.dispatch)
+		// One-cycle front-end latency after fetch.
+		if e.dispatchAt > p.cycle {
+			return
+		}
+		if p.inFlight >= p.cfg.MaxInFlight {
+			return
+		}
+		// Window space.
+		intSide := e.sub == isa.SubINT || e.isMem
+		if intSide && p.intWinCount >= p.cfg.IntWindow {
+			return
+		}
+		if !intSide && p.fpWinCount >= p.cfg.FpWindow {
+			return
+		}
+		// Physical registers for renamed destinations.
+		if e.hasDst {
+			if e.dstClass == isa.IntReg {
+				if p.intDefs >= p.cfg.IntPhysRegs-32 {
+					return
+				}
+			} else if p.fpDefs >= p.cfg.FpPhysRegs-32 {
+				return
+			}
+		}
+		// Rename: capture producers, claim destination.
+		e.deps[0], e.deps[1] = -1, -1
+		if e.ev.Src1 >= 0 {
+			if prod, ok := p.rename[e.ev.Src1]; ok {
+				e.deps[0] = prod
+			}
+		}
+		if e.ev.Src2 >= 0 {
+			if prod, ok := p.rename[e.ev.Src2]; ok {
+				e.deps[1] = prod
+			}
+		}
+		if e.hasDst {
+			p.rename[e.ev.Dst] = p.dispatch
+			if e.dstClass == isa.IntReg {
+				p.intDefs++
+			} else {
+				p.fpDefs++
+			}
+		}
+		e.dispatched = true
+		if intSide {
+			p.intWinCount++
+		} else {
+			p.fpWinCount++
+		}
+		p.inFlight++
+		p.dispatch++
+	}
+}
+
+func (p *Pipeline) fetch() {
+	// Blocked on an unresolved mispredicted branch?
+	if p.fetchBlockedOn >= 0 {
+		if p.fetchBlockedOn >= p.robBase { // otherwise committed: resolved
+			be := p.entry(p.fetchBlockedOn)
+			if !be.issued || be.doneAt > p.cycle {
+				p.stats.FetchMispredictStalls++
+				return
+			}
+		}
+		p.fetchBlockedOn = -1
+	}
+	if p.icacheStallUntil > p.cycle {
+		p.stats.FetchICacheStalls++
+		return
+	}
+	// The fetch buffer holds at most two fetch groups awaiting dispatch.
+	fetchBuf := int64(2 * p.cfg.FetchWidth)
+	for n := 0; n < p.cfg.FetchWidth && p.pendHead < len(p.pending); n++ {
+		if p.tail-p.dispatch >= fetchBuf {
+			return
+		}
+		ev := p.pending[p.pendHead]
+		// Instruction cache: one probe per new line touched (instructions
+		// are modeled as 8 bytes).
+		line := (int64(ev.PC) * 8) / int64(p.cfg.ICacheLine)
+		if line != p.lastFetchLine {
+			p.lastFetchLine = line
+			if !p.icache.Access(int64(ev.PC)*8, false) {
+				p.icacheStallUntil = p.cycle + int64(p.cfg.ICacheMissPenalty)
+				return // line arrives after the penalty; retry then
+			}
+		}
+		p.pendHead++
+
+		abs := p.tail
+		p.rob = append(p.rob, robEntry{
+			ev:         ev,
+			dispatchAt: p.cycle + 1,
+			doneAt:     never,
+			sub:        isa.ExecSubsystem(ev.Op),
+			isMem:      isa.IsMem(ev.Op),
+			isLoad:     isa.IsLoad(ev.Op),
+			isStore:    isa.IsStore(ev.Op),
+			isBr:       isa.IsCondBranch(ev.Op),
+		})
+		e := p.entry(abs)
+		if ev.Dst >= 0 {
+			e.hasDst = true
+			if ev.Dst < 32 {
+				e.dstClass = isa.IntReg
+			} else {
+				e.dstClass = isa.FpReg
+			}
+		}
+		p.tail++
+
+		if e.isBr {
+			correct := p.bpred.PredictAndUpdate(ev.PC, ev.Taken)
+			if !correct {
+				e.misp = true
+				p.fetchBlockedOn = abs
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package uarch
+
+import (
+	"fpint/internal/isa"
+	"fpint/internal/sim"
+)
+
+// Run executes prog functionally while driving the timing model, returning
+// both the functional result and the timing statistics.
+func Run(prog *isa.Program, cfg Config) (*sim.Result, Stats, error) {
+	m := sim.New(prog)
+	p := NewPipeline(cfg)
+	m.Trace = p.Feed
+	res, err := m.Run()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := p.Finish()
+	return res, st, nil
+}

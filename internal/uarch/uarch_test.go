@@ -1,0 +1,132 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/uarch"
+)
+
+func compileAndTime(t *testing.T, src string, scheme codegen.Scheme, cfg uarch.Config) (int64, uarch.Stats) {
+	t.Helper()
+	res, _, err := codegen.CompileSource(src, codegen.Options{Scheme: scheme})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out, st, err := uarch.Run(res.Prog, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.Ret, st
+}
+
+const loopSrc = `
+int a[512];
+int main() {
+	int s = 0;
+	for (int rep = 0; rep < 30; rep++) {
+		for (int i = 0; i < 512; i++) a[i] = i ^ rep;
+		for (int i = 0; i < 512; i++) if (a[i] & 1) s += a[i];
+	}
+	return s & 1048575;
+}`
+
+func TestTimingBasicSanity(t *testing.T) {
+	ret, st := compileAndTime(t, loopSrc, codegen.SchemeNone, uarch.Config4Way())
+	if st.Cycles <= 0 || st.Instructions <= 0 {
+		t.Fatalf("no progress: %+v", st)
+	}
+	ipc := st.IPC()
+	if ipc <= 0.1 || ipc > 4.0 {
+		t.Errorf("IPC %.2f out of plausible range for a 4-way machine", ipc)
+	}
+	if st.IssuedFPa != 0 {
+		t.Errorf("conventional binary issued %d FPa ops", st.IssuedFPa)
+	}
+	_ = ret
+}
+
+func TestTimingDeterminism(t *testing.T) {
+	_, st1 := compileAndTime(t, loopSrc, codegen.SchemeAdvanced, uarch.Config4Way())
+	_, st2 := compileAndTime(t, loopSrc, codegen.SchemeAdvanced, uarch.Config4Way())
+	if st1.Cycles != st2.Cycles || st1.Instructions != st2.Instructions {
+		t.Fatalf("nondeterministic timing: %v vs %v", st1.Cycles, st2.Cycles)
+	}
+}
+
+func TestAugmentedUsesFPa(t *testing.T) {
+	_, st := compileAndTime(t, loopSrc, codegen.SchemeAdvanced, uarch.Config4Way())
+	if st.IssuedFPa == 0 {
+		t.Errorf("advanced binary issued no FPa ops")
+	}
+}
+
+func TestPartitionedSpeedsUpComputeBoundLoop(t *testing.T) {
+	// A branch/store-value heavy loop with abundant ILP blocked mainly by
+	// the 2-wide INT issue: the augmented machine should win.
+	src := `
+int a[256];
+int b[256];
+int main() {
+	int s = 0;
+	for (int rep = 0; rep < 50; rep++) {
+		for (int i = 0; i < 256; i++) {
+			int x = a[i];
+			int y = (x ^ 21) + (x >> 3) + (x << 1) + rep;
+			int z = (y & 255) + (y >> 7) + ((x + y) ^ (x - y));
+			if (z & 1) s += z; else s ^= y;
+			b[i] = z;
+		}
+	}
+	return s & 1048575;
+}`
+	retB, stBase := compileAndTime(t, src, codegen.SchemeNone, uarch.Config4Way())
+	retA, stAdv := compileAndTime(t, src, codegen.SchemeAdvanced, uarch.Config4Way())
+	if retB != retA {
+		t.Fatalf("functional mismatch: %d vs %d", retB, retA)
+	}
+	if stAdv.Cycles >= stBase.Cycles {
+		t.Errorf("advanced (%d cycles) not faster than baseline (%d cycles)", stAdv.Cycles, stBase.Cycles)
+	}
+}
+
+func Test8WayFasterThan4Way(t *testing.T) {
+	_, st4 := compileAndTime(t, loopSrc, codegen.SchemeNone, uarch.Config4Way())
+	_, st8 := compileAndTime(t, loopSrc, codegen.SchemeNone, uarch.Config8Way())
+	if st8.Cycles > st4.Cycles {
+		t.Errorf("8-way (%d cycles) slower than 4-way (%d)", st8.Cycles, st4.Cycles)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 5000; i++) s += i & 3;
+	return s;
+}`
+	_, st := compileAndTime(t, src, codegen.SchemeNone, uarch.Config4Way())
+	if st.BpredLookups == 0 {
+		t.Fatal("no branches predicted")
+	}
+	acc := 1 - float64(st.BpredMispredicts)/float64(st.BpredLookups)
+	if acc < 0.95 {
+		t.Errorf("gshare accuracy %.3f too low on a simple loop", acc)
+	}
+}
+
+func TestDCacheCapturesLocality(t *testing.T) {
+	src := `
+int a[128];
+int main() {
+	int s = 0;
+	for (int rep = 0; rep < 100; rep++)
+		for (int i = 0; i < 128; i++)
+			s += a[i];
+	return s;
+}`
+	_, st := compileAndTime(t, src, codegen.SchemeNone, uarch.Config4Way())
+	if st.DCacheMissRate > 0.05 {
+		t.Errorf("D-cache miss rate %.3f too high for a resident array", st.DCacheMissRate)
+	}
+}

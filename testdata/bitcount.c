@@ -1,0 +1,21 @@
+// Population count over a table, checked against the shift-and-mask
+// identity. Exercises shifts, masks, and branch slices.
+int words[128];
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+int popcount(int x) {
+	int n = 0;
+	for (int i = 0; i < 63; i++) {
+		if ((x >> i) & 1) n++;
+	}
+	return n;
+}
+int main() {
+	seed = 321;
+	int total = 0;
+	for (int i = 0; i < 128; i++) {
+		words[i] = rnd() * 65536 + rnd();
+		total += popcount(words[i]);
+	}
+	return total;
+}

@@ -1,0 +1,19 @@
+// Mixed float/int kernel: float accumulation with integer thresholding —
+// the §7.5 shape where only the integer control is offloadable.
+float signal[512];
+int hist[8];
+int main() {
+	for (int i = 0; i < 512; i++) signal[i] = (float)((i * 37) % 100) * 0.02 - 1.0;
+	float acc = 0.0;
+	for (int i = 0; i < 512; i++) {
+		acc += signal[i] * signal[i];
+		int bucket = 0;
+		if (signal[i] > 0.5) bucket = 3;
+		else if (signal[i] > 0.0) bucket = 2;
+		else if (signal[i] > -0.5) bucket = 1;
+		hist[bucket]++;
+	}
+	int s = (int)(acc * 100.0);
+	for (int b = 0; b < 8; b++) s = (s * 31 + hist[b]) & 16777215;
+	return s;
+}

@@ -1,0 +1,23 @@
+// Fixed-point Mandelbrot iteration counts: mixed int control + arithmetic.
+int counts[64];
+int main() {
+	int total = 0;
+	for (int p = 0; p < 64; p++) {
+		int cx = (p % 8) * 96 - 512;   // Q8 fixed point
+		int cy = (p / 8) * 96 - 384;
+		int x = 0; int y = 0;
+		int it = 0;
+		while (it < 48) {
+			int x2 = (x * x) >> 8;
+			int y2 = (y * y) >> 8;
+			if (x2 + y2 > 1024) break;
+			int xy = (x * y) >> 8;
+			x = x2 - y2 + cx;
+			y = xy + xy + cy;
+			it++;
+		}
+		counts[p] = it;
+		total += it;
+	}
+	return total;
+}

@@ -1,0 +1,17 @@
+// Small integer matrix multiply (shift-scaled to stay FPa-friendly).
+int a[256];
+int b[256];
+int c[256];
+int main() {
+	for (int i = 0; i < 256; i++) { a[i] = (i * 7) % 31; b[i] = (i * 5) % 29; }
+	for (int i = 0; i < 16; i++)
+		for (int j = 0; j < 16; j++) {
+			int s = 0;
+			for (int k = 0; k < 16; k++)
+				s += a[i*16+k] * b[k*16+j];
+			c[i*16+j] = s;
+		}
+	int check = 0;
+	for (int i = 0; i < 256; i++) check = (check * 31 + c[i]) & 16777215;
+	return check;
+}

@@ -1,0 +1,12 @@
+// Sieve of Eratosthenes: store-value heavy, paper-friendly kernel.
+int composite[2000];
+int main() {
+	int count = 0;
+	for (int i = 2; i < 2000; i++) {
+		if (composite[i] == 0) {
+			count++;
+			for (int j = i + i; j < 2000; j += i) composite[j] = 1;
+		}
+	}
+	return count; // number of primes below 2000
+}

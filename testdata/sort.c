@@ -1,0 +1,25 @@
+// Insertion sort + binary search: branch slices over loaded values.
+int v[300];
+int seed;
+int rnd() { seed = seed * 69069 + 7; return (seed >> 16) & 4095; }
+int main() {
+	seed = 99;
+	for (int i = 0; i < 300; i++) v[i] = rnd();
+	for (int i = 1; i < 300; i++) {
+		int key = v[i];
+		int j = i - 1;
+		while (j >= 0 && v[j] > key) { v[j+1] = v[j]; j--; }
+		v[j+1] = key;
+	}
+	int found = 0;
+	for (int probe = 0; probe < 64; probe++) {
+		int want = v[(probe * 37) % 300];
+		int lo = 0; int hi = 299;
+		while (lo < hi) {
+			int mid = (lo + hi) / 2;
+			if (v[mid] < want) lo = mid + 1; else hi = mid;
+		}
+		if (v[lo] == want) found++;
+	}
+	return found * 1000 + v[150];
+}

@@ -1,0 +1,79 @@
+package fpint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/interp"
+	"fpint/internal/sim"
+	"fpint/internal/uarch"
+)
+
+// TestTestdataPrograms compiles every sample program under testdata/ with
+// all schemes (and the interprocedural extension) and cross-checks results
+// against the IR interpreter on both machine configurations.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".c")
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, prof, err := codegen.FrontendPipeline(string(data))
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+			ref, err := interp.New(mod).Run()
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			optsList := []codegen.Options{
+				{Scheme: codegen.SchemeNone},
+				{Scheme: codegen.SchemeBasic},
+				{Scheme: codegen.SchemeAdvanced},
+				{Scheme: codegen.SchemeAdvanced, InterprocFPArgs: true},
+				{Scheme: codegen.SchemeBalanced, MaxFPaFraction: 0.3},
+			}
+			for _, opts := range optsList {
+				opts.Profile = prof
+				res, err := codegen.Compile(mod, opts)
+				if err != nil {
+					t.Fatalf("%v: compile: %v", opts.Scheme, err)
+				}
+				out, err := sim.New(res.Prog).Run()
+				if err != nil {
+					t.Fatalf("%v: run: %v", opts.Scheme, err)
+				}
+				if out.Ret != ref.Ret || out.Output != ref.Output {
+					t.Fatalf("%v: ret=%d want %d", opts.Scheme, out.Ret, ref.Ret)
+				}
+			}
+			// Timing on both Table 1 machines with the advanced scheme.
+			res, err := codegen.Compile(mod, codegen.Options{Scheme: codegen.SchemeAdvanced, Profile: prof})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+				out, st, err := uarch.Run(res.Prog, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.Name, err)
+				}
+				if out.Ret != ref.Ret {
+					t.Fatalf("%s: ret=%d want %d", cfg.Name, out.Ret, ref.Ret)
+				}
+				if st.Cycles <= 0 {
+					t.Fatalf("%s: no cycles", cfg.Name)
+				}
+			}
+		})
+	}
+}
