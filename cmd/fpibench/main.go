@@ -6,15 +6,16 @@
 //	fpibench                 # run everything
 //	fpibench -fig8 -fig9     # selected experiments only
 //	fpibench -table1 -table2 # static tables
+//	fpibench -json results.json  # machine-readable results ("-" for stdout)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fpint/internal/bench"
-	"fpint/internal/codegen"
 	"fpint/internal/uarch"
 )
 
@@ -30,14 +31,20 @@ func main() {
 		loads     = flag.Bool("loads", false, "§6.6 load-count changes")
 		slices    = flag.Bool("slices", false, "§4 computational-slice weights")
 		imbalance = flag.Bool("imbalance", false, "§7.3 load-imbalance statistics")
+		jsonOut   = flag.String("json", "", "also write the selected experiments as JSON to the given file (\"-\" for stdout, suppressing the tables)")
 	)
 	flag.Parse()
 	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance)
 
-	s := bench.NewSuite()
-	run := func(name string, f func(*bench.Suite) error) {
-		fmt.Printf("\n================ %s ================\n", name)
-		if err := f(s); err != nil {
+	c := &ctx{s: bench.NewSuite(), quiet: *jsonOut == "-"}
+	if *jsonOut != "" {
+		c.rep = bench.NewReport()
+	}
+	run := func(name string, f func(*ctx) error) {
+		if !c.quiet {
+			fmt.Printf("\n================ %s ================\n", name)
+		}
+		if err := f(c); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -73,15 +80,51 @@ func main() {
 	if all || *fpprogs {
 		run("Floating-point programs (§7.5)", printFpProgs)
 	}
+
+	if c.rep != nil {
+		if err := writeTo(*jsonOut, c.rep.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "fpibench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func printTable1(*bench.Suite) error {
+// ctx carries the shared suite plus the optional JSON report each
+// experiment contributes its rows to.
+type ctx struct {
+	s     *bench.Suite
+	rep   *bench.Report
+	quiet bool
+}
+
+// record adds one experiment's rows to the report, if one was requested.
+func (c *ctx) record(name, section string, rows any) {
+	if c.rep != nil {
+		c.rep.Add(name, section, rows)
+	}
+}
+
+// table prints a formatted table unless table output is suppressed.
+func (c *ctx) table(header []string, rows [][]string) {
+	if !c.quiet {
+		fmt.Print(bench.FormatTable(header, rows))
+	}
+}
+
+// note prints a trailing comparison-with-the-paper line.
+func (c *ctx) note(format string, args ...any) {
+	if !c.quiet {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+func printTable1(c *ctx) error {
 	cfgs := []uarch.Config{uarch.Config4Way(), uarch.Config8Way()}
 	var rows [][]string
 	add := func(name string, f func(uarch.Config) string) {
 		row := []string{name}
-		for _, c := range cfgs {
-			row = append(row, f(c))
+		for _, cfg := range cfgs {
+			row = append(row, f(cfg))
 		}
 		rows = append(rows, row)
 	}
@@ -104,24 +147,34 @@ func printTable1(*bench.Suite) error {
 		return fmt.Sprintf("%dKB, %d-way, %dB lines, WB/WA, %dc hit, %dc miss", c.DCacheSize/1024, c.DCacheWays, c.DCacheLine, c.DCacheHit, c.DCacheMissPenalty)
 	})
 	add("Load/store ports", func(c uarch.Config) string { return fmt.Sprintf("%d", c.LdStPorts) })
-	fmt.Print(bench.FormatTable([]string{"Parameter", "4-way", "8-way"}, rows))
+	c.record("table1_machine_parameters", "§7/Table 1", rows)
+	c.table([]string{"Parameter", "4-way", "8-way"}, rows)
 	return nil
 }
 
-func printTable2(*bench.Suite) error {
+func printTable2(c *ctx) error {
+	type row struct {
+		Workload string `json:"workload"`
+		Class    string `json:"class"`
+		Input    string `json:"input"`
+	}
+	var jrows []row
 	var rows [][]string
 	for _, w := range bench.Workloads() {
+		jrows = append(jrows, row{w.Name, w.Class, w.Input})
 		rows = append(rows, []string{w.Name, w.Class, w.Input})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "Class", "Input"}, rows))
+	c.record("table2_benchmarks", "§7/Table 2", jrows)
+	c.table([]string{"Benchmark", "Class", "Input"}, rows)
 	return nil
 }
 
-func printSlices(s *bench.Suite) error {
-	rows, err := s.SliceStats(bench.IntWorkloads())
+func printSlices(c *ctx) error {
+	rows, err := c.s.SliceStats(bench.IntWorkloads())
 	if err != nil {
 		return err
 	}
+	c.record("slice_weights", "§4", rows)
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{r.Workload,
@@ -129,16 +182,17 @@ func printSlices(s *bench.Suite) error {
 			fmt.Sprintf("%5.1f%%", r.BranchPct),
 			fmt.Sprintf("%5.1f%%", r.StoreValPct)})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "LdSt slice", "Branch slice", "StoreVal slice"}, out))
-	fmt.Println("\nPaper: LdSt slices of integer programs account for close to 50% of dynamic instructions.")
+	c.table([]string{"Benchmark", "LdSt slice", "Branch slice", "StoreVal slice"}, out)
+	c.note("\nPaper: LdSt slices of integer programs account for close to 50%% of dynamic instructions.")
 	return nil
 }
 
-func printFig8(s *bench.Suite) error {
-	rows, err := s.FigurePartitionSizes(bench.IntWorkloads())
+func printFig8(c *ctx) error {
+	rows, err := c.s.FigurePartitionSizes(bench.IntWorkloads())
 	if err != nil {
 		return err
 	}
+	c.record("fig8_partition_sizes", "§7.1/Fig. 8", rows)
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{r.Workload,
@@ -146,22 +200,25 @@ func printFig8(s *bench.Suite) error {
 			fmt.Sprintf("%5.1f%%", r.AdvancedPct),
 			bar(r.BasicPct), bar(r.AdvancedPct)})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "Basic", "Advanced", "basic", "advanced"}, out))
-	fmt.Println("\nPaper: basic offloads 5%–29%, advanced offloads 9%–41% of dynamic instructions.")
+	c.table([]string{"Benchmark", "Basic", "Advanced", "basic", "advanced"}, out)
+	c.note("\nPaper: basic offloads 5%%–29%%, advanced offloads 9%%–41%% of dynamic instructions.")
 	return nil
 }
 
-func printFig9(s *bench.Suite) error { return printSpeedups(s, uarch.Config4Way(), "2.5%–23.1%") }
-
-func printFig10(s *bench.Suite) error {
-	return printSpeedups(s, uarch.Config8Way(), "smaller than on the 4-way machine")
+func printFig9(c *ctx) error {
+	return printSpeedups(c, uarch.Config4Way(), "fig9_speedups_4way", "§7.1/Fig. 9", "2.5%–23.1%")
 }
 
-func printSpeedups(s *bench.Suite, cfg uarch.Config, paper string) error {
-	rows, err := s.FigureSpeedups(bench.IntWorkloads(), cfg)
+func printFig10(c *ctx) error {
+	return printSpeedups(c, uarch.Config8Way(), "fig10_speedups_8way", "§7.4/Fig. 10", "smaller than on the 4-way machine")
+}
+
+func printSpeedups(c *ctx, cfg uarch.Config, name, section, paper string) error {
+	rows, err := c.s.FigureSpeedups(bench.IntWorkloads(), cfg)
 	if err != nil {
 		return err
 	}
+	c.record(name, section, rows)
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{r.Workload,
@@ -170,16 +227,17 @@ func printSpeedups(s *bench.Suite, cfg uarch.Config, paper string) error {
 			fmt.Sprintf("%d", r.BaseCycles),
 			fmt.Sprintf("%d", r.AdvCycles)})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "Basic", "Advanced", "Base cycles", "Adv cycles"}, out))
-	fmt.Printf("\nPaper (%s machine): improvements %s.\n", cfg.Name, paper)
+	c.table([]string{"Benchmark", "Basic", "Advanced", "Base cycles", "Adv cycles"}, out)
+	c.note("\nPaper (%s machine): improvements %s.", cfg.Name, paper)
 	return nil
 }
 
-func printOverheads(s *bench.Suite) error {
-	rows, err := s.Overheads(bench.IntWorkloads())
+func printOverheads(c *ctx) error {
+	rows, err := c.s.Overheads(bench.IntWorkloads())
 	if err != nil {
 		return err
 	}
+	c.record("overheads", "§7.2", rows)
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{r.Workload,
@@ -188,62 +246,72 @@ func printOverheads(s *bench.Suite) error {
 			fmt.Sprintf("%5.2f%%", r.DupPct),
 			fmt.Sprintf("%+5.2f%%", r.StaticGrowthPct)})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "Dyn growth", "Copies", "Dups", "Static growth"}, out))
-	fmt.Println("\nPaper: max dynamic increase 4% (compress: 3.4% copies + 0.6% dups); static growth negligible.")
+	c.table([]string{"Benchmark", "Dyn growth", "Copies", "Dups", "Static growth"}, out)
+	c.note("\nPaper: max dynamic increase 4%% (compress: 3.4%% copies + 0.6%% dups); static growth negligible.")
 	return nil
 }
 
-func printLoads(s *bench.Suite) error {
-	rows, err := s.LoadChanges(bench.IntWorkloads())
+func printLoads(c *ctx) error {
+	rows, err := c.s.LoadChanges(bench.IntWorkloads())
 	if err != nil {
 		return err
 	}
+	c.record("load_changes", "§6.6", rows)
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{r.Workload, fmt.Sprintf("%+5.2f%%", r.LoadDeltaPct)})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "Load delta (adv vs base)"}, out))
-	fmt.Println("\nPaper: loads decreased 3.7% for go, increased 2.6% for gcc.")
+	c.table([]string{"Benchmark", "Load delta (adv vs base)"}, out)
+	c.note("\nPaper: loads decreased 3.7%% for go, increased 2.6%% for gcc.")
 	return nil
 }
 
-func printImbalance(s *bench.Suite) error {
-	cfg := uarch.Config4Way()
+func printImbalance(c *ctx) error {
+	rows, err := c.s.Imbalance(bench.IntWorkloads(), uarch.Config4Way())
+	if err != nil {
+		return err
+	}
+	c.record("imbalance", "§7.3", rows)
 	var out [][]string
-	for _, w := range bench.IntWorkloads() {
-		w := w
-		m, err := s.Measure(&w, codegen.SchemeAdvanced, cfg)
-		if err != nil {
-			return err
-		}
-		out = append(out, []string{w.Name,
-			fmt.Sprintf("%5.1f%%", 100*m.OffloadFrac),
-			fmt.Sprintf("%5.1f%%", 100*m.IntIdleFPaBusyFrac)})
+	for _, r := range rows {
+		out = append(out, []string{r.Workload,
+			fmt.Sprintf("%5.1f%%", r.OffloadPct),
+			fmt.Sprintf("%5.1f%%", r.IntIdleFPaBusyPct)})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "Offload", "INT idle & FPa busy (cycles)"}, out))
-	fmt.Println("\nPaper: for m88ksim the INT subsystem is idle 12.4% of the cycles in which")
-	fmt.Println("FPa executes — greedy partitioning does not balance load (§7.3/§6.6).")
+	c.table([]string{"Benchmark", "Offload", "INT idle & FPa busy (cycles)"}, out)
+	c.note("\nPaper: for m88ksim the INT subsystem is idle 12.4%% of the cycles in which\nFPa executes — greedy partitioning does not balance load (§7.3/§6.6).")
 	return nil
 }
 
-func printFpProgs(s *bench.Suite) error {
+func printFpProgs(c *ctx) error {
 	ws := bench.FpWorkloads()
-	parts, err := s.FigurePartitionSizes(ws)
+	parts, err := c.s.FigurePartitionSizes(ws)
 	if err != nil {
 		return err
 	}
-	speeds, err := s.FigureSpeedups(ws, uarch.Config4Way())
+	speeds, err := c.s.FigureSpeedups(ws, uarch.Config4Way())
 	if err != nil {
 		return err
 	}
+	type row struct {
+		Workload   string  `json:"workload"`
+		OffloadPct float64 `json:"offloadPct"`
+		SpeedupPct float64 `json:"speedupPct"`
+		BaseCycles int64   `json:"baseCycles"`
+		AdvCycles  int64   `json:"advCycles"`
+	}
+	var jrows []row
 	var out [][]string
 	for i := range parts {
+		jrows = append(jrows, row{parts[i].Workload, parts[i].AdvancedPct,
+			speeds[i].AdvancedPct, speeds[i].BaseCycles, speeds[i].AdvCycles})
 		out = append(out, []string{parts[i].Workload,
 			fmt.Sprintf("%5.1f%%", parts[i].AdvancedPct),
 			fmt.Sprintf("%+5.1f%%", speeds[i].AdvancedPct)})
 	}
-	fmt.Print(bench.FormatTable([]string{"Benchmark", "Advanced offload", "Advanced speedup (4-way)"}, out))
-	fmt.Println("\nPaper: FP programs ~neutral, except ear: 18% offload and 18% speedup.")
+	c.record("fp_programs", "§7.5", jrows)
+	c.table([]string{"Benchmark", "Advanced offload", "Advanced speedup (4-way)"}, out)
+	c.note("\nPaper: FP programs ~neutral, except ear: 18%% offload and 18%% speedup.")
 	return nil
 }
 
@@ -260,4 +328,20 @@ func bar(pct float64) string {
 		s += "#"
 	}
 	return s
+}
+
+// writeTo streams enc to path, with "-" meaning stdout.
+func writeTo(path string, enc func(w io.Writer) error) error {
+	if path == "-" {
+		return enc(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

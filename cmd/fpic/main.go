@@ -5,16 +5,22 @@
 //
 //	fpic [-scheme none|basic|advanced] [-dump-ir] [-dump-rdg] [-dump-partition] [-S] file.c
 //	fpic -example          # compile the paper's Figure 3 gcc fragment
+//	fpic -example -explain # per-component benefit/overhead/profit decisions
+//	fpic -example -json -  # audit trail + pass log as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
 	"fpint/internal/core"
+	"fpint/internal/ir"
+	"fpint/internal/obs"
 )
 
 const exampleSrc = `
@@ -49,6 +55,9 @@ func main() {
 		workload   = flag.String("workload", "", "compile a named built-in workload instead of a file")
 		ocopy      = flag.Float64("ocopy", 4, "copy overhead o_copy (paper: 3-6)")
 		odupl      = flag.Float64("odupl", 2, "duplicate overhead o_dupl (paper: 1.5-3)")
+		explain    = flag.Bool("explain", false, "print the partition-decision audit trail per function")
+		passes     = flag.Bool("passes", false, "print per-pass timing and IR instruction deltas")
+		jsonOut    = flag.String("json", "", "write the audit trail, pass log, and per-function stats as JSON to the given file (\"-\" for stdout, suppressing normal output)")
 	)
 	flag.Parse()
 
@@ -91,7 +100,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	mod, prof, err := codegen.FrontendPipeline(src)
+	quiet := *jsonOut == "-"
+	var plog *obs.PassLog
+	if *passes || *jsonOut != "" {
+		plog = &obs.PassLog{}
+	}
+
+	mod, prof, err := codegen.FrontendPipelineObserved(src, plog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
 		os.Exit(1)
@@ -150,10 +165,31 @@ func main() {
 	}
 
 	res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof,
-		Cost: core.CostParams{OCopy: *ocopy, ODupl: *odupl}})
+		Cost: core.CostParams{OCopy: *ocopy, ODupl: *odupl}, PassLog: plog})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
 		os.Exit(1)
+	}
+	if *explain && !quiet {
+		for _, fn := range mod.Funcs {
+			if p := res.Partitions[fn.Name]; p != nil && p.Audit != nil {
+				fmt.Print(p.Audit.String())
+			}
+		}
+	}
+	if *passes && !quiet {
+		fmt.Print(plog.String())
+	}
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, func(w io.Writer) error {
+			return writeCompileJSON(w, scheme.String(), mod.Funcs, res, plog)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if quiet {
+		return
 	}
 	if *asm {
 		fmt.Println("==== assembly ====")
@@ -165,4 +201,63 @@ func main() {
 		fmt.Printf(";   %-24s %4d insts, %d spill slots (%d reloads, %d stores)\n",
 			name, st.StaticInsts, st.SpillSlots, st.SpillLoads, st.SpillStores)
 	}
+}
+
+// compileDoc is the -json document: the scheme, each function's code-size
+// and spill stats plus its partition audit trail, and the pass log.
+type compileDoc struct {
+	Scheme string                `json:"scheme"`
+	Funcs  map[string]*compileFn `json:"funcs"`
+	Passes []obs.PassRecord      `json:"passes,omitempty"`
+}
+
+type compileFn struct {
+	StaticInsts int         `json:"staticInsts"`
+	SpillSlots  int         `json:"spillSlots"`
+	SpillLoads  int         `json:"spillLoads"`
+	SpillStores int         `json:"spillStores"`
+	Audit       *core.Audit `json:"audit,omitempty"`
+}
+
+func writeCompileJSON(w io.Writer, scheme string, fns []*ir.Func, res *codegen.Result, plog *obs.PassLog) error {
+	doc := compileDoc{Scheme: scheme, Funcs: make(map[string]*compileFn)}
+	for _, fn := range fns {
+		cf := &compileFn{}
+		if st := res.Stats[fn.Name]; st != nil {
+			cf.StaticInsts = st.StaticInsts
+			cf.SpillSlots = st.SpillSlots
+			cf.SpillLoads = st.SpillLoads
+			cf.SpillStores = st.SpillStores
+		}
+		if p := res.Partitions[fn.Name]; p != nil {
+			cf.Audit = p.Audit
+		}
+		doc.Funcs[fn.Name] = cf
+	}
+	if plog != nil {
+		doc.Passes = plog.Records
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// writeTo streams enc to path, with "-" meaning stdout.
+func writeTo(path string, enc func(w io.Writer) error) error {
+	if path == "-" {
+		return enc(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,15 +6,19 @@
 //
 //	fpisim [-scheme advanced] [-timing] [-config 4way|8way] file.c
 //	fpisim -workload compress -timing -compare
+//	fpisim -workload compress -timing -json -              # metrics as JSON
+//	fpisim -workload compress -timing -pipetrace-json t.json  # Perfetto trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
+	"fpint/internal/obs"
 	"fpint/internal/sim"
 	"fpint/internal/uarch"
 )
@@ -27,6 +31,9 @@ func main() {
 		compare    = flag.Bool("compare", false, "run all three schemes and report speedups")
 		workload   = flag.String("workload", "", "run a named built-in workload instead of a file")
 		pipetrace  = flag.Int("pipetrace", 0, "with -timing: dump the pipeline journal of the first N instructions")
+		traceJSON  = flag.String("pipetrace-json", "", "with -timing: write the pipeline journal as Chrome trace-event JSON to the given file")
+		jsonOut    = flag.String("json", "", "write run metrics as deterministic JSON to the given file (\"-\" for stdout, suppressing normal output)")
+		csvOut     = flag.String("csv", "", "write run metrics as CSV to the given file (\"-\" for stdout, suppressing normal output)")
 		interproc  = flag.Bool("interproc", false, "enable the §6.6 interprocedural FP-argument extension")
 	)
 	flag.Parse()
@@ -69,10 +76,15 @@ func main() {
 
 	opts := codegen.Options{InterprocFPArgs: *interproc}
 
+	if !*timing && !*compare && (*pipetrace > 0 || *traceJSON != "") {
+		fmt.Fprintln(os.Stderr, "fpisim: -pipetrace/-pipetrace-json require -timing; no trace will be produced")
+	}
+
 	if *compare {
 		var baseCycles int64
 		for _, name := range []string{"none", "basic", "advanced"} {
-			cycles, offl := run(src, schemes[name], opts, cfg, true, 0)
+			r := runConfig{cfg: cfg, timing: true}
+			cycles, offl := run(src, schemes[name], opts, r)
 			if name == "none" {
 				baseCycles = cycles
 				fmt.Printf("%-10s cycles=%-10d offload=%4.1f%%\n", name, cycles, offl*100)
@@ -83,42 +95,95 @@ func main() {
 		}
 		return
 	}
-	run(src, sch, opts, cfg, *timing, *pipetrace)
+	run(src, sch, opts, runConfig{
+		cfg: cfg, timing: *timing, pipetrace: *pipetrace,
+		traceJSON: *traceJSON, jsonOut: *jsonOut, csvOut: *csvOut,
+	})
 }
 
-func run(src string, sch codegen.Scheme, opts codegen.Options, cfg uarch.Config, timing bool, pipetrace int) (int64, float64) {
+type runConfig struct {
+	cfg       uarch.Config
+	timing    bool
+	pipetrace int
+	traceJSON string
+	jsonOut   string
+	csvOut    string
+}
+
+// quiet reports whether human-readable output is suppressed (a metrics
+// document is being streamed to stdout instead).
+func (rc *runConfig) quiet() bool { return rc.jsonOut == "-" || rc.csvOut == "-" }
+
+func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (int64, float64) {
 	opts.Scheme = sch
 	res, _, err := codegen.CompileSource(src, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
 		os.Exit(1)
 	}
-	if !timing {
-		out, err := sim.New(res.Prog).Run()
-		if err != nil {
+
+	m := sim.New(res.Prog)
+	var p *uarch.Pipeline
+	var journal *uarch.Journal
+	if rc.timing {
+		p = uarch.NewPipeline(rc.cfg)
+		limit := rc.pipetrace
+		if rc.traceJSON != "" && limit == 0 {
+			limit = 1 << 20
+		}
+		if limit > 0 {
+			journal = p.AttachJournal(limit)
+		}
+		m.Trace = p.Feed
+	}
+	out, err := m.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+		os.Exit(1)
+	}
+	var st uarch.Stats
+	if rc.timing {
+		st = p.Finish()
+	}
+
+	if journal != nil && rc.traceJSON != "" {
+		if err := writeTo(rc.traceJSON, journal.WriteTrace); err != nil {
 			fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if rc.jsonOut != "" || rc.csvOut != "" {
+		reg := obs.NewRegistry()
+		reg.Gauge("run.exit").Set(float64(out.Ret))
+		out.Stats.AddTo(reg, "sim.")
+		if rc.timing {
+			st.AddTo(reg, "uarch.")
+		}
+		if rc.jsonOut != "" {
+			if err := writeTo(rc.jsonOut, reg.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if rc.csvOut != "" {
+			if err := writeTo(rc.csvOut, reg.WriteCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if rc.quiet() {
+		return st.Cycles, out.Stats.OffloadFraction()
+	}
+
+	if !rc.timing {
 		fmt.Print(out.Output)
 		fmt.Printf("; exit=%d dynamic=%d offload=%.1f%% (INT=%d FP=%d FPa=%d)\n",
 			out.Ret, out.Stats.Total, 100*out.Stats.OffloadFraction(),
 			out.Stats.BySubsys[0], out.Stats.BySubsys[1], out.Stats.BySubsys[2])
 		return 0, out.Stats.OffloadFraction()
 	}
-	m := sim.New(res.Prog)
-	p := uarch.NewPipeline(cfg)
-	var journal *uarch.Journal
-	if pipetrace > 0 {
-		journal = p.AttachJournal(pipetrace)
-	}
-	m.Trace = p.Feed
-	out, err := m.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-		os.Exit(1)
-	}
-	st := p.Finish()
-	if journal != nil {
+	if journal != nil && rc.pipetrace > 0 {
 		fmt.Print(journal.String())
 	}
 	fmt.Print(out.Output)
@@ -128,7 +193,25 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, cfg uarch.Config,
 		1-float64(st.BpredMispredicts)/float64(max64(st.BpredLookups, 1)),
 		st.ICacheMissRate, st.DCacheMissRate,
 		float64(st.IntIdleFPaBusy)/float64(max64(st.Cycles, 1)))
+	fmt.Printf(";   issue-active=%d stall=%d (accounting error=%d)\n",
+		st.IssueActiveCycles, st.TotalStallCycles(), st.StallAccountingError())
 	return st.Cycles, out.Stats.OffloadFraction()
+}
+
+// writeTo streams enc to path, with "-" meaning stdout.
+func writeTo(path string, enc func(w io.Writer) error) error {
+	if path == "-" {
+		return enc(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func max64(a, b int64) int64 {

@@ -10,6 +10,7 @@ import (
 	"fpint/internal/core"
 	"fpint/internal/interp"
 	"fpint/internal/ir"
+	"fpint/internal/isa"
 	"fpint/internal/sim"
 	"fpint/internal/uarch"
 )
@@ -33,6 +34,14 @@ type Measurement struct {
 	IntIdleFPaBusyFrac float64
 	BpredAccuracy      float64
 	DCacheMissRate     float64
+
+	// IssueActiveCycles plus the per-cause stall cycles in Stalls sum to
+	// Cycles (the uarch top-down accounting invariant).
+	IssueActiveCycles int64
+	// Stalls maps stall-cause name → cycles, summed over subsystems.
+	Stalls map[string]int64
+	// StallsBySub maps "<subsystem>.<cause>" → cycles.
+	StallsBySub map[string]int64
 }
 
 // Suite compiles and runs workloads, caching frontend results (the IR and
@@ -124,6 +133,20 @@ func (s *Suite) Measure(w *Workload, scheme codegen.Scheme, cfg uarch.Config) (*
 	}
 	if st.Cycles > 0 {
 		m.IntIdleFPaBusyFrac = float64(st.IntIdleFPaBusy) / float64(st.Cycles)
+	}
+	m.IssueActiveCycles = st.IssueActiveCycles
+	m.Stalls = make(map[string]int64)
+	m.StallsBySub = make(map[string]int64)
+	for sub := 0; sub < 3; sub++ {
+		for cause := 0; cause < uarch.NumStallCauses; cause++ {
+			n := st.StallBySub[sub][cause]
+			if n == 0 {
+				continue
+			}
+			name := uarch.StallCause(cause).String()
+			m.Stalls[name] += n
+			m.StallsBySub[isa.Subsystem(sub).String()+"."+name] += n
+		}
 	}
 	return m, nil
 }
@@ -332,6 +355,32 @@ func (s *Suite) SliceStats(ws []Workload) ([]SliceRow, error) {
 			LdStPct:     100 * ldst / total,
 			BranchPct:   100 * br / total,
 			StoreValPct: 100 * sv / total,
+		})
+	}
+	return rows, nil
+}
+
+// ImbalanceRow quantifies §7.3's load-imbalance discussion for one
+// workload under the advanced scheme.
+type ImbalanceRow struct {
+	Workload          string
+	OffloadPct        float64
+	IntIdleFPaBusyPct float64
+}
+
+// Imbalance measures the §7.3 numbers for the given workloads on cfg.
+func (s *Suite) Imbalance(ws []Workload, cfg uarch.Config) ([]ImbalanceRow, error) {
+	var rows []ImbalanceRow
+	for i := range ws {
+		w := &ws[i]
+		m, err := s.Measure(w, codegen.SchemeAdvanced, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ImbalanceRow{
+			Workload:          w.Name,
+			OffloadPct:        100 * m.OffloadFrac,
+			IntIdleFPaBusyPct: 100 * m.IntIdleFPaBusyFrac,
 		})
 	}
 	return rows, nil

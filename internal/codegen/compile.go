@@ -3,11 +3,13 @@ package codegen
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fpint/internal/core"
 	"fpint/internal/interp"
 	"fpint/internal/ir"
 	"fpint/internal/isa"
+	"fpint/internal/obs"
 )
 
 // Scheme selects the partitioning scheme applied during compilation.
@@ -50,6 +52,11 @@ type Options struct {
 	// the caller's FPa→INT copy and the callee's INT→FPa copy into one
 	// FP-file move.
 	InterprocFPArgs bool
+
+	// PassLog, when non-nil, receives one record per backend stage
+	// (partition, select, regalloc) per function, with wall time and the
+	// machine-instruction counts produced.
+	PassLog *obs.PassLog
 }
 
 // FuncStat records per-function compilation statistics.
@@ -115,6 +122,7 @@ func Compile(mod *ir.Module, opts Options) (*Result, error) {
 	for _, fn := range mod.Funcs {
 		var part *core.Partition
 		if opts.Scheme != SchemeNone {
+			partStart := time.Now()
 			g := core.BuildGraph(fn, opts.Profile)
 			graphs[fn.Name] = g
 			switch opts.Scheme {
@@ -132,6 +140,8 @@ func Compile(mod *ir.Module, opts Options) (*Result, error) {
 			if err := part.Validate(); err != nil {
 				return nil, fmt.Errorf("codegen: partition invalid: %v", err)
 			}
+			opts.PassLog.Add("partition", fn.Name, time.Since(partStart).Nanoseconds(),
+				len(g.Nodes), len(g.Nodes))
 		}
 		res.Partitions[fn.Name] = part
 	}
@@ -145,12 +155,18 @@ func Compile(mod *ir.Module, opts Options) (*Result, error) {
 	for _, fn := range mod.Funcs {
 		part := res.Partitions[fn.Name]
 
+		selStart := time.Now()
 		mf, err := selectFunc(fn, part, plan)
 		if err != nil {
 			return nil, err
 		}
+		opts.PassLog.Add("select", fn.Name, time.Since(selStart).Nanoseconds(),
+			countFuncInstrs(fn), countMInstrs(mf))
+
+		raStart := time.Now()
 		ra := regalloc(mf)
 		addFrame(mf, ra)
+		opts.PassLog.Add("regalloc", fn.Name, time.Since(raStart).Nanoseconds(), 0, countMInstrs(mf))
 
 		// Lower to flat instructions with block layout and fallthrough
 		// elision.
@@ -316,6 +332,24 @@ func addFrame(f *mfunc, ra regallocStats) {
 	)
 	epiBlk := f.blocks[len(f.blocks)-1]
 	epiBlk.insts = append(epi, epiBlk.insts...)
+}
+
+// countFuncInstrs counts a function's IR instructions.
+func countFuncInstrs(fn *ir.Func) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// countMInstrs counts a machine function's instructions across blocks.
+func countMInstrs(mf *mfunc) int {
+	n := 0
+	for _, b := range mf.blocks {
+		n += len(b.insts)
+	}
+	return n
 }
 
 // CompileSource is a convenience used by tests, tools, and examples: it

@@ -2,11 +2,13 @@ package codegen
 
 import (
 	"fmt"
+	"time"
 
 	"fpint/internal/interp"
 	"fpint/internal/ir"
 	"fpint/internal/irgen"
 	"fpint/internal/lang"
+	"fpint/internal/obs"
 	"fpint/internal/opt"
 )
 
@@ -15,26 +17,69 @@ import (
 // model's input, standing in for the paper's training runs — the workloads
 // are deterministic, so self-profiling is faithful).
 func FrontendPipeline(src string) (*ir.Module, *interp.Profile, error) {
+	return FrontendPipelineObserved(src, nil)
+}
+
+// FrontendPipelineObserved is FrontendPipeline with per-stage and per-pass
+// instrumentation: every frontend stage and every optimizer pass appends a
+// record (name, unit, wall time, IR instruction delta) to plog. A nil plog
+// disables instrumentation.
+func FrontendPipelineObserved(src string, plog *obs.PassLog) (*ir.Module, *interp.Profile, error) {
+	stage := func(name string, mod *ir.Module, start time.Time, before int) {
+		if plog == nil {
+			return
+		}
+		after := 0
+		if mod != nil {
+			after = moduleInstrs(mod)
+		}
+		plog.Add(name, "module", time.Since(start).Nanoseconds(), before, after)
+	}
+
+	start := time.Now()
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return nil, nil, fmt.Errorf("parse: %w", err)
 	}
+	stage("parse", nil, start, 0)
+
+	start = time.Now()
 	if err := lang.Check(prog); err != nil {
 		return nil, nil, fmt.Errorf("check: %w", err)
 	}
+	stage("check", nil, start, 0)
+
+	start = time.Now()
 	mod, err := irgen.Lower(prog)
 	if err != nil {
 		return nil, nil, fmt.Errorf("lower: %w", err)
 	}
-	opt.Optimize(mod)
+	stage("lower", mod, start, 0)
+
+	opt.OptimizeObserved(mod, plog.Observer())
 	for _, fn := range mod.Funcs {
 		if err := fn.Verify(); err != nil {
 			return nil, nil, fmt.Errorf("verify: %w", err)
 		}
 	}
+
+	start = time.Now()
+	before := moduleInstrs(mod)
 	res, err := interp.New(mod).Run()
 	if err != nil {
 		return nil, nil, fmt.Errorf("profile run: %w", err)
 	}
+	stage("profile", mod, start, before)
 	return mod, res.Profile, nil
+}
+
+// moduleInstrs counts the module's IR instructions.
+func moduleInstrs(mod *ir.Module) int {
+	n := 0
+	for _, fn := range mod.Funcs {
+		for _, b := range fn.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
 }

@@ -49,6 +49,9 @@ type advancedState struct {
 	// copyCost/dupCost per node (§6.2 prepass).
 	copyCost []float64
 	dupCost  []float64
+
+	// audit records the phase-2 component decisions.
+	audit *Audit
 }
 
 func (a *advancedState) count(v NodeID) float64 { return a.g.Nodes[v].Count }
@@ -360,26 +363,69 @@ func (a *advancedState) phase2() {
 		}
 	}
 
-	// Profit per component root: Σ benefit of FPa members − Σ transfer
-	// overheads − Σ FPa→INT copies for actual-argument members.
-	profit := make(map[int]float64)
+	// Benefit/overhead per component root: benefit is the weight of the
+	// FPa members; overhead is the copy/duplicate traffic plus the §6.4
+	// FPa→INT copies for actual-argument members. Profit is the
+	// difference; the aggregation doubles as the partition-decision audit
+	// trail.
+	type compAgg struct {
+		minNode   NodeID
+		nodes     int
+		transfers int
+		benefit   float64
+		overhead  float64
+	}
+	comps := make(map[int]*compAgg)
+	get := func(id NodeID) *compAgg {
+		root := uf.find(int(id))
+		c, ok := comps[root]
+		if !ok {
+			c = &compAgg{minNode: id}
+			comps[root] = c
+		}
+		if id < c.minNode {
+			c.minNode = id
+		}
+		return c
+	}
 	for _, n := range a.g.Nodes {
 		switch {
 		case a.inFPa(n.ID):
-			root := uf.find(int(n.ID))
-			profit[root] += n.Count
+			c := get(n.ID)
+			c.nodes++
+			c.benefit += n.Count
 			if n.IsActualArg {
-				profit[root] -= a.copyCost[n.ID]
+				c.overhead += a.copyCost[n.ID]
 			}
 		case isTransfer(n.ID):
-			root := uf.find(int(n.ID))
+			c := get(n.ID)
+			c.transfers++
 			if dups[n.ID] {
-				profit[root] -= a.params.ODupl * n.Count
+				c.overhead += a.params.ODupl * n.Count
 			} else {
-				profit[root] -= a.copyCost[n.ID]
+				c.overhead += a.copyCost[n.ID]
 			}
 		}
 	}
+
+	profit := make(map[int]float64)
+	a.audit = &Audit{Fn: a.g.Fn.Name, Scheme: "advanced"}
+	for root, c := range comps {
+		p := c.benefit - c.overhead
+		profit[root] = p
+		d := ComponentDecision{
+			MinNode: c.minNode, Nodes: c.nodes, Transfers: c.transfers,
+			Weight: c.benefit, Benefit: c.benefit, Overhead: c.overhead,
+			Profit: p, Accepted: p >= 0,
+		}
+		if d.Accepted {
+			d.Reason = "benefit covers copy/dup overhead: kept in FPa"
+		} else {
+			d.Reason = "copy/dup overhead exceeds benefit: moved back to INT"
+		}
+		a.audit.Components = append(a.audit.Components, d)
+	}
+	a.audit.Components = sortComponents(a.audit.Components)
 
 	for _, n := range a.g.Nodes {
 		if !a.inFPa(n.ID) {
@@ -439,5 +485,6 @@ func (a *advancedState) finish() *Partition {
 			p.OutCopyNodes[n.ID] = true
 		}
 	}
+	p.Audit = a.audit
 	return p
 }

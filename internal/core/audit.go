@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ComponentDecision is the audit record of one connected component the
+// partitioner examined: its size, profile weight, the §6.1 cost-model
+// terms, and why it was accepted into FPa or sent back to INT. Benefit is
+// the profile-weighted dynamic instruction count the component would
+// offload; Overhead is the copy/duplicate traffic (plus §6.4 FPa→INT
+// copies for actual-argument producers) that offloading would cost;
+// Profit = Benefit − Overhead.
+type ComponentDecision struct {
+	Component int     // stable component index (ordered by lowest node ID)
+	MinNode   NodeID  // lowest-numbered member node
+	Nodes     int     // candidate (non-pinned, non-FixedFP) nodes
+	Transfers int     // copy/duplicate nodes attached to the component
+	Weight    float64 // profile weight of the candidate nodes
+	Benefit   float64
+	Overhead  float64
+	Profit    float64
+	Accepted  bool
+	Reason    string
+}
+
+// Audit is the partition-decision trail of one function under one scheme.
+type Audit struct {
+	Fn         string
+	Scheme     string
+	Components []ComponentDecision
+}
+
+// String renders the audit as an aligned table with one row per component.
+func (a *Audit) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "==== partition audit of %s (%s) ====\n", a.Fn, a.Scheme)
+	if len(a.Components) == 0 {
+		sb.WriteString("  (no offload candidates)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %4s %5s %6s %9s %9s %9s %9s  %-6s %s\n",
+		"comp", "nodes", "xfers", "weight", "benefit", "overhead", "profit", "verdict", "reason")
+	for _, c := range a.Components {
+		verdict := "reject"
+		if c.Accepted {
+			verdict = "accept"
+		}
+		fmt.Fprintf(&sb, "  %4d %5d %6d %9.1f %9.1f %9.1f %9.1f  %-6s %s\n",
+			c.Component, c.Nodes, c.Transfers, c.Weight, c.Benefit, c.Overhead, c.Profit, verdict, c.Reason)
+	}
+	return sb.String()
+}
+
+// sortComponents orders decisions by their lowest member node and assigns
+// stable component indices.
+func sortComponents(comps []ComponentDecision) []ComponentDecision {
+	sort.Slice(comps, func(i, j int) bool { return comps[i].MinNode < comps[j].MinNode })
+	for i := range comps {
+		comps[i].Component = i
+	}
+	return comps
+}
+
+// auditBasic records the §5 decision for every undirected component: a
+// component is offloaded iff it contains no pinned-INT node (there is no
+// copy/duplicate mechanism in the basic scheme, so Overhead is always 0).
+func auditBasic(g *Graph, comp []int) *Audit {
+	type agg struct {
+		minNode NodeID
+		nodes   int
+		weight  float64
+		pinned  bool
+	}
+	byComp := make(map[int]*agg)
+	for _, n := range g.Nodes {
+		if n.Class == ClassFixedFP {
+			continue
+		}
+		a, ok := byComp[comp[n.ID]]
+		if !ok {
+			a = &agg{minNode: n.ID}
+			byComp[comp[n.ID]] = a
+		}
+		if n.ID < a.minNode {
+			a.minNode = n.ID
+		}
+		a.nodes++
+		a.weight += n.Count
+		if n.Class == ClassPinInt {
+			a.pinned = true
+		}
+	}
+	audit := &Audit{Fn: g.Fn.Name, Scheme: "basic"}
+	for _, a := range byComp {
+		d := ComponentDecision{
+			MinNode: a.minNode, Nodes: a.nodes, Weight: a.weight,
+		}
+		if a.pinned {
+			d.Accepted = false
+			d.Reason = "contains a pinned-INT node (load/store address, mul/div, call or return)"
+		} else {
+			d.Accepted = true
+			d.Benefit = a.weight
+			d.Profit = a.weight
+			d.Reason = "exchanges no register value with INT: offloaded whole to FPa"
+		}
+		audit.Components = append(audit.Components, d)
+	}
+	audit.Components = sortComponents(audit.Components)
+	return audit
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpint/internal/core"
+)
+
+// Every partitioning scheme must leave a complete decision trail: one
+// record per examined component, each with a verdict and a reason, and the
+// accepted set must be consistent with the cost model (Profit >= 0 under
+// the advanced scheme).
+func TestAuditTrailRecordsEveryComponent(t *testing.T) {
+	mod, prof := build(t, gccFragment)
+	for _, fn := range mod.Funcs {
+		g := core.BuildGraph(fn, prof)
+
+		basic := core.BasicPartition(g)
+		if basic.Audit == nil {
+			t.Fatalf("%s: basic partition has no audit", fn.Name)
+		}
+		if basic.Audit.Scheme != "basic" || basic.Audit.Fn != fn.Name {
+			t.Errorf("%s: audit header wrong: %q/%q", fn.Name, basic.Audit.Fn, basic.Audit.Scheme)
+		}
+
+		adv := core.AdvancedPartition(g, core.CostParams{OCopy: 4, ODupl: 2})
+		if adv.Audit == nil {
+			t.Fatalf("%s: advanced partition has no audit", fn.Name)
+		}
+		for _, d := range adv.Audit.Components {
+			if d.Reason == "" {
+				t.Errorf("%s: component %d has no reason", fn.Name, d.Component)
+			}
+			if d.Accepted != (d.Profit >= 0) {
+				t.Errorf("%s: component %d verdict %v contradicts profit %.1f",
+					fn.Name, d.Component, d.Accepted, d.Profit)
+			}
+			if got := d.Benefit - d.Overhead; got != d.Profit {
+				t.Errorf("%s: component %d profit %.1f != benefit-overhead %.1f",
+					fn.Name, d.Component, d.Profit, got)
+			}
+		}
+	}
+}
+
+// The audited verdicts must agree with the partition itself: a function
+// whose components were all rejected offloads nothing, and accepted weight
+// implies FPa assignments exist.
+func TestAuditAgreesWithAssignment(t *testing.T) {
+	mod, prof := build(t, gccFragment)
+	for _, fn := range mod.Funcs {
+		g := core.BuildGraph(fn, prof)
+		p := core.AdvancedPartition(g, core.CostParams{OCopy: 4, ODupl: 2})
+		accepted := 0
+		for _, d := range p.Audit.Components {
+			if d.Accepted {
+				accepted++
+			}
+		}
+		fpa := 0
+		for _, n := range g.Nodes {
+			if n.Class != core.ClassFixedFP && p.Assign[n.ID] == core.SubFPa {
+				fpa++
+			}
+		}
+		if (accepted > 0) != (fpa > 0) {
+			t.Errorf("%s: %d accepted components but %d FPa nodes", fn.Name, accepted, fpa)
+		}
+	}
+}
+
+func TestAuditStringRendering(t *testing.T) {
+	a := &core.Audit{Fn: "f", Scheme: "advanced"}
+	if s := a.String(); !strings.Contains(s, "no offload candidates") {
+		t.Errorf("empty audit rendering: %q", s)
+	}
+	a.Components = []core.ComponentDecision{{
+		Nodes: 3, Weight: 99, Benefit: 99, Overhead: 132, Profit: -33,
+		Accepted: false, Reason: "copy/dup overhead exceeds benefit",
+	}}
+	s := a.String()
+	for _, want := range []string{"reject", "copy/dup overhead exceeds benefit", "99.0", "-33.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("audit table missing %q:\n%s", want, s)
+		}
+	}
+}

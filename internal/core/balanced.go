@@ -87,6 +87,21 @@ func BalancedPartition(g *Graph, params CostParams, maxFPaFraction float64) *Par
 			p.Assign[id] = SubINT
 		}
 		fpa -= c.weight
+		if p.Audit != nil {
+			minNode := c.members[0]
+			for _, id := range c.members {
+				if id < minNode {
+					minNode = id
+				}
+			}
+			p.Audit.Scheme = "balanced"
+			p.Audit.Components = append(p.Audit.Components, ComponentDecision{
+				Component: len(p.Audit.Components),
+				MinNode:   minNode, Nodes: len(c.members),
+				Weight: c.weight, Benefit: c.weight,
+				Reason: "demoted: FPa weight exceeded the load-balance cap (§6.6)",
+			})
+		}
 	}
 
 	// Recompute the transfer sets for the reduced assignment.

@@ -31,6 +31,7 @@ func BasicPartition(g *Graph) *Partition {
 			p.Assign[n.ID] = SubFPa
 		}
 	}
+	p.Audit = auditBasic(g, comp)
 	return p
 }
 

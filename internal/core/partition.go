@@ -42,6 +42,11 @@ type Partition struct {
 	// because a call argument or return value needs it in an integer
 	// register (§6.4).
 	OutCopyNodes map[NodeID]bool
+
+	// Audit is the partition-decision trail: one record per connected
+	// component the scheme examined, with the cost-model terms and the
+	// accept/reject reason (surfaced by fpic -explain).
+	Audit *Audit
 }
 
 func newPartition(g *Graph, scheme string) *Partition {

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PassRecord is one compiler-pass execution: which pass ran on which unit
+// (function or module), how long it took, and how the IR instruction count
+// changed.
+type PassRecord struct {
+	Pass   string
+	Unit   string
+	Nanos  int64
+	Before int // instruction count before the pass
+	After  int // instruction count after the pass
+}
+
+// Delta returns the IR instruction delta (negative when the pass shrank
+// the unit).
+func (r PassRecord) Delta() int { return r.After - r.Before }
+
+// PassLog accumulates pass records in execution order. The zero value is
+// ready to use; a nil *PassLog is a valid no-op sink.
+type PassLog struct {
+	Records []PassRecord
+}
+
+// Add appends one record. Safe on a nil log.
+func (l *PassLog) Add(pass, unit string, nanos int64, before, after int) {
+	if l == nil {
+		return
+	}
+	l.Records = append(l.Records, PassRecord{Pass: pass, Unit: unit, Nanos: nanos, Before: before, After: after})
+}
+
+// Observer adapts the log to the opt.PassObserver callback shape. A nil
+// log yields a nil observer, which instrumented pipelines treat as "off".
+func (l *PassLog) Observer() func(pass, unit string, nanos int64, before, after int) {
+	if l == nil {
+		return nil
+	}
+	return l.Add
+}
+
+// String renders the log as an aligned table.
+func (l *PassLog) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %-20s %12s %7s %7s %7s\n", "pass", "unit", "ns", "before", "after", "delta")
+	for _, r := range l.Records {
+		fmt.Fprintf(&sb, "%-20s %-20s %12d %7d %7d %+7d\n", r.Pass, r.Unit, r.Nanos, r.Before, r.After, r.Delta())
+	}
+	return sb.String()
+}
+
+// WriteJSON encodes the log as a JSON array in execution order. Wall times
+// are real measurements and therefore not run-stable; every other field
+// is deterministic.
+func (l *PassLog) WriteJSON(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("[\n")
+	for i, r := range l.Records {
+		if i > 0 {
+			sb.WriteString(",\n")
+		}
+		fmt.Fprintf(&sb, "  {\"pass\": %s, \"unit\": %s, \"nanos\": %d, \"before\": %d, \"after\": %d, \"delta\": %d}",
+			quote(r.Pass), quote(r.Unit), r.Nanos, r.Before, r.After, r.Delta())
+	}
+	sb.WriteString("\n]\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceEvent is one event in the Chrome trace-event format (the JSON array
+// flavor understood by chrome://tracing and Perfetto). Timestamps and
+// durations are in trace "microseconds"; the simulators map one cycle to
+// one microsecond so the viewer's time axis reads directly in cycles.
+type TraceEvent struct {
+	Name string            // event name (shown on the slice)
+	Cat  string            // comma-separated categories
+	Ph   string            // phase: "X" complete, "i" instant, "M" metadata
+	Ts   int64             // start timestamp
+	Dur  int64             // duration (complete events only)
+	Pid  int               // process id (track group)
+	Tid  int               // thread id (track)
+	Args map[string]string // extra key/value payload
+}
+
+// ThreadName returns the metadata event that names a track in the viewer.
+func ThreadName(pid, tid int, name string) TraceEvent {
+	return TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]string{"name": name},
+	}
+}
+
+// Instant returns a thread-scoped instant event (a marker tick).
+func Instant(name string, ts int64, pid, tid int) TraceEvent {
+	return TraceEvent{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid}
+}
+
+// Span returns a complete ("X") event covering [ts, ts+dur).
+func Span(name, cat string, ts, dur int64, pid, tid int) TraceEvent {
+	if dur < 0 {
+		dur = 0
+	}
+	return TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid}
+}
+
+// WriteTrace encodes events as a Chrome trace-event JSON document:
+//
+//	{"traceEvents": [...], "displayTimeUnit": "ms"}
+//
+// Field order within each event is fixed and map arguments are emitted in
+// sorted key order, so the output is deterministic.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	var sb strings.Builder
+	sb.WriteString("{\"traceEvents\": [\n")
+	for i, e := range events {
+		if i > 0 {
+			sb.WriteString(",\n")
+		}
+		sb.WriteString("  {")
+		fmt.Fprintf(&sb, "\"name\": %s, \"ph\": %s", quote(e.Name), quote(e.Ph))
+		if e.Cat != "" {
+			fmt.Fprintf(&sb, ", \"cat\": %s", quote(e.Cat))
+		}
+		fmt.Fprintf(&sb, ", \"ts\": %d", e.Ts)
+		if e.Ph == "X" {
+			fmt.Fprintf(&sb, ", \"dur\": %d", e.Dur)
+		}
+		if e.Ph == "i" {
+			// Thread-scoped instant: renders as a tick on its own track.
+			sb.WriteString(`, "s": "t"`)
+		}
+		fmt.Fprintf(&sb, ", \"pid\": %d, \"tid\": %d", e.Pid, e.Tid)
+		if len(e.Args) > 0 {
+			sb.WriteString(`, "args": {`)
+			for j, k := range sortedKeys(e.Args) {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%s: %s", quote(k), quote(e.Args[k]))
+			}
+			sb.WriteByte('}')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteString("\n], \"displayTimeUnit\": \"ms\"}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

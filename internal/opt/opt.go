@@ -10,38 +10,79 @@
 package opt
 
 import (
+	"time"
+
 	"fpint/internal/ir"
 )
 
+// PassObserver receives one record per executed pass: the pass name, the
+// function it ran on, its wall time, and the IR instruction count before
+// and after. A nil observer disables instrumentation (no timing overhead).
+type PassObserver func(pass, fn string, nanos int64, before, after int)
+
 // Optimize runs the standard pass pipeline on every function in the module.
 func Optimize(mod *ir.Module) {
+	OptimizeObserved(mod, nil)
+}
+
+// OptimizeObserved is Optimize with per-pass instrumentation.
+func OptimizeObserved(mod *ir.Module, obs PassObserver) {
 	for _, fn := range mod.Funcs {
-		OptimizeFunc(fn)
+		OptimizeFuncObserved(fn, obs)
 	}
 }
 
 // OptimizeFunc runs the pass pipeline on one function.
 func OptimizeFunc(fn *ir.Func) {
+	OptimizeFuncObserved(fn, nil)
+}
+
+// OptimizeFuncObserved runs the pass pipeline on one function, reporting
+// every executed pass to obs (when non-nil).
+func OptimizeFuncObserved(fn *ir.Func, obs PassObserver) {
+	run := func(name string, pass func(*ir.Func) bool) bool {
+		if obs == nil {
+			return pass(fn)
+		}
+		before := countInstrs(fn)
+		start := time.Now()
+		changed := pass(fn)
+		obs(name, fn.Name, time.Since(start).Nanoseconds(), before, countInstrs(fn))
+		return changed
+	}
 	for i := 0; i < 3; i++ {
 		changed := false
-		changed = copyPropagate(fn) || changed
-		changed = constFold(fn) || changed
-		changed = localCSE(fn) || changed
-		changed = simplifyBranches(fn) || changed
-		changed = deadCodeElim(fn) || changed
+		changed = run("copy-propagate", copyPropagate) || changed
+		changed = run("const-fold", constFold) || changed
+		changed = run("local-cse", localCSE) || changed
+		changed = run("simplify-branches", simplifyBranches) || changed
+		changed = run("dce", deadCodeElim) || changed
 		if !changed {
 			break
 		}
 	}
-	strengthReduce(fn)
-	immediateFold(fn)
-	deadCodeElim(fn)
-	licm(fn)
-	copyPropagate(fn)
-	deadCodeElim(fn)
-	fn.RemoveUnreachable()
-	fn.Renumber()
-	fn.ComputeLoopDepths()
+	run("strength-reduce", strengthReduce)
+	run("immediate-fold", immediateFold)
+	run("dce", deadCodeElim)
+	run("licm", func(f *ir.Func) bool { licm(f); return false })
+	run("copy-propagate", copyPropagate)
+	run("dce", deadCodeElim)
+	run("cleanup", func(f *ir.Func) bool {
+		f.RemoveUnreachable()
+		f.Renumber()
+		f.ComputeLoopDepths()
+		return false
+	})
+}
+
+// countInstrs counts the function's IR instructions without requiring a
+// renumber.
+func countInstrs(fn *ir.Func) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
 }
 
 // isPure reports whether the instruction has no side effects and always

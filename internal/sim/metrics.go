@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"sort"
+
+	"fpint/internal/isa"
+	"fpint/internal/obs"
+)
+
+// AddTo exports the functional-run statistics into a metrics registry
+// under the given prefix (e.g. "sim."): dynamic totals, per-subsystem
+// instruction counts, partitioning overhead counters, and a per-opcode
+// breakdown. Opcode counters are emitted in sorted order so the registry
+// encoders stay deterministic.
+func (s *Stats) AddTo(r *obs.Registry, prefix string) {
+	c := func(name string, v int64) { r.Counter(prefix + name).Add(v) }
+	c("dynamic_instructions", s.Total)
+	c("loads", s.Loads)
+	c("stores", s.Stores)
+	c("branches", s.Branches)
+	c("copies", s.Copies)
+	c("dups", s.Dups)
+	for sub := 0; sub < 3; sub++ {
+		c("subsystem."+isa.Subsystem(sub).String(), s.BySubsys[sub])
+	}
+	r.Gauge(prefix + "offload_fraction").Set(s.OffloadFraction())
+
+	ops := make([]isa.Opcode, 0, len(s.ByOp))
+	for op := range s.ByOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		c("op."+op.String(), s.ByOp[op])
+	}
+}

@@ -2,9 +2,11 @@ package uarch
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"fpint/internal/isa"
+	"fpint/internal/obs"
 )
 
 // JournalEntry records the pipeline timing of one dynamic instruction —
@@ -45,12 +47,56 @@ func (j *Journal) record(seq int64, e *robEntry, commitAt int64) {
 		PC:       e.ev.PC,
 		Op:       e.ev.Op,
 		Sub:      e.sub,
-		FetchAt:  e.dispatchAt - 1,
+		FetchAt:  e.fetchAt,
 		IssueAt:  e.issueAt,
 		DoneAt:   e.doneAt,
 		CommitAt: commitAt,
 		Misp:     e.misp,
 	})
+}
+
+// TraceEvents converts the journal into Chrome trace events: one track
+// (thread) per subsystem, with a fetch→issue "frontend" span, an
+// issue→done "exec" span, and a done→commit "commit" span per instruction,
+// plus an instant marker on every mispredicted branch. Timestamps are
+// cycles (rendered as microseconds by the viewer).
+func (j *Journal) TraceEvents() []obs.TraceEvent {
+	const pid = 1
+	var events []obs.TraceEvent
+	used := [3]bool{}
+	for _, e := range j.Entries {
+		used[e.Sub] = true
+	}
+	for sub := 0; sub < 3; sub++ {
+		if used[sub] {
+			events = append(events, obs.ThreadName(pid, sub+1, isa.Subsystem(sub).String()))
+		}
+	}
+	for _, e := range j.Entries {
+		tid := int(e.Sub) + 1
+		name := e.Op.String()
+		span := func(cat string, from, to int64) {
+			ev := obs.Span(name, cat, from, to-from, pid, tid)
+			ev.Args = map[string]string{
+				"seq": fmt.Sprint(e.Seq),
+				"pc":  fmt.Sprint(e.PC),
+			}
+			events = append(events, ev)
+		}
+		span("frontend", e.FetchAt, e.IssueAt)
+		span("exec", e.IssueAt, e.DoneAt)
+		span("commit", e.DoneAt, e.CommitAt)
+		if e.Misp {
+			events = append(events, obs.Instant("mispredict", e.DoneAt, pid, tid))
+		}
+	}
+	return events
+}
+
+// WriteTrace writes the journal as a Perfetto/chrome://tracing-loadable
+// trace-event JSON document.
+func (j *Journal) WriteTrace(w io.Writer) error {
+	return obs.WriteTrace(w, j.TraceEvents())
 }
 
 // String renders the journal as a pipetrace table.

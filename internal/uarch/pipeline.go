@@ -34,6 +34,33 @@ type Stats struct {
 	BpredMispredicts int64
 	ICacheMissRate   float64
 	DCacheMissRate   float64
+
+	// IssueActiveCycles counts cycles in which at least one instruction
+	// issued. Every other cycle is attributed to exactly one stall cause
+	// and one subsystem in StallBySub, so
+	//
+	//	IssueActiveCycles + ΣStallBySub == Cycles
+	//
+	// (the invariant StallAccountingError checks).
+	IssueActiveCycles int64
+
+	// StallBySub[sub][cause] attributes each non-issuing cycle to the
+	// subsystem of the instruction at fault (see classifyStall for the
+	// blame rules; pure front-end conditions are charged to INT, whose
+	// core owns fetch/decode).
+	StallBySub [3][NumStallCauses]int64
+
+	// IssueSlotCycles[k] counts cycles in which exactly k instructions
+	// issued (k = 0..IssueWidth) — the per-slot issue-utilization profile.
+	IssueSlotCycles []int64
+
+	// Per-cycle occupancy histograms, sampled at the end of every cycle:
+	// IntWinOcc[n] is the number of cycles the INT issue window held n
+	// entries, and likewise for the FP window and the in-flight (ROB)
+	// count.
+	IntWinOcc []int64
+	FpWinOcc  []int64
+	ROBOcc    []int64
 }
 
 // IPC returns committed instructions per cycle.
@@ -52,6 +79,7 @@ type robEntry struct {
 
 	deps [2]int64 // absolute ROB indices of producers; -1 = ready
 
+	fetchAt    int64 // cycle the instruction was fetched
 	dispatchAt int64
 	issueAt    int64
 	doneAt     int64
@@ -64,6 +92,7 @@ type robEntry struct {
 	isStore bool
 	isBr    bool
 	misp    bool // conditional branch that the predictor missed
+	dmiss   bool // load that missed the D-cache
 
 	hasDst   bool
 	dstClass isa.RegClass
@@ -114,7 +143,7 @@ type Pipeline struct {
 
 // NewPipeline builds a timing model for cfg.
 func NewPipeline(cfg Config) *Pipeline {
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:            cfg,
 		bpred:          NewGshare(cfg.BpredCounters, cfg.BpredHistory),
 		icache:         NewCache(cfg.ICacheSize, cfg.ICacheWays, cfg.ICacheLine),
@@ -123,6 +152,11 @@ func NewPipeline(cfg Config) *Pipeline {
 		fetchBlockedOn: -1,
 		lastFetchLine:  -1,
 	}
+	p.stats.IssueSlotCycles = make([]int64, cfg.IssueWidth+1)
+	p.stats.IntWinOcc = make([]int64, cfg.IntWindow+1)
+	p.stats.FpWinOcc = make([]int64, cfg.FpWindow+1)
+	p.stats.ROBOcc = make([]int64, cfg.MaxInFlight+1)
+	return p
 }
 
 // Feed appends one traced instruction and advances the clock as needed to
@@ -159,12 +193,17 @@ func (p *Pipeline) entry(abs int64) *robEntry {
 }
 
 // step advances the machine by one cycle: commit, issue, dispatch, fetch.
+// Stall classification runs between issue and dispatch so it sees exactly
+// the machine state the issue stage saw; occupancy is sampled at the end
+// of the cycle.
 func (p *Pipeline) step() {
 	p.cycle++
 	p.commit()
-	p.issue()
+	issued := p.issue()
+	p.accountIssue(issued)
 	p.dispatchStage()
 	p.fetch()
+	p.sampleOccupancy()
 }
 
 func (p *Pipeline) commit() {
@@ -211,7 +250,7 @@ func (p *Pipeline) ready(e *robEntry) bool {
 	return true
 }
 
-func (p *Pipeline) issue() {
+func (p *Pipeline) issue() int {
 	total := 0
 	intALU := 0
 	fpALU := 0
@@ -279,6 +318,7 @@ func (p *Pipeline) issue() {
 				lat = int64(p.cfg.DCacheHit)
 			} else {
 				lat = int64(p.cfg.DCacheHit + p.cfg.DCacheMissPenalty)
+				e.dmiss = true
 			}
 			p.stats.Loads++
 		} else if e.isStore {
@@ -321,6 +361,7 @@ func (p *Pipeline) issue() {
 	if intIssued == 0 && fpaIssued > 0 {
 		p.stats.IntIdleFPaBusy++
 	}
+	return total
 }
 
 func (p *Pipeline) dispatchStage() {
@@ -420,6 +461,7 @@ func (p *Pipeline) fetch() {
 		abs := p.tail
 		p.rob = append(p.rob, robEntry{
 			ev:         ev,
+			fetchAt:    p.cycle,
 			dispatchAt: p.cycle + 1,
 			doneAt:     never,
 			sub:        isa.ExecSubsystem(ev.Op),
