@@ -1,0 +1,95 @@
+package fpint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/interp"
+	"fpint/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenFor renders the observable behavior of a program run: its exit
+// value and everything it printed. This is the contract the golden files
+// pin — any semantic drift in the frontend, a partition scheme, or the
+// simulator shows up as a golden diff rather than only as a differential
+// mismatch between two components that may have drifted together.
+func goldenFor(ret int64, output string) string {
+	return fmt.Sprintf("ret: %d\noutput:\n%s", ret, output)
+}
+
+// TestGoldenOutputs checks every testdata program against its checked-in
+// golden file under every partition scheme. Regenerate with
+// `go test -run TestGoldenOutputs -update .` after an intentional change.
+func TestGoldenOutputs(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".c")
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, prof, err := codegen.FrontendPipeline(string(data))
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+			ref, err := interp.New(mod).Run()
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			got := goldenFor(ref.Ret, ref.Output)
+
+			goldenPath := filepath.Join("testdata", "golden", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("interpreter output diverges from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+
+			// Every scheme must reproduce the golden behavior exactly.
+			optsList := []codegen.Options{
+				{Scheme: codegen.SchemeNone},
+				{Scheme: codegen.SchemeBasic},
+				{Scheme: codegen.SchemeAdvanced},
+				{Scheme: codegen.SchemeAdvanced, InterprocFPArgs: true},
+				{Scheme: codegen.SchemeBalanced, MaxFPaFraction: 0.3},
+			}
+			for _, opts := range optsList {
+				opts.Profile = prof
+				res, err := codegen.Compile(mod, opts)
+				if err != nil {
+					t.Fatalf("%v: compile: %v", opts.Scheme, err)
+				}
+				out, err := sim.New(res.Prog).Run()
+				if err != nil {
+					t.Fatalf("%v: run: %v", opts.Scheme, err)
+				}
+				if g := goldenFor(out.Ret, out.Output); g != string(want) {
+					t.Errorf("%v (interproc=%v): simulated output diverges from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+						opts.Scheme, opts.InterprocFPArgs, g, want)
+				}
+			}
+		})
+	}
+}

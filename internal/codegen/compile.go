@@ -57,6 +57,13 @@ type Options struct {
 	// (partition, select, regalloc) per function, with wall time and the
 	// machine-instruction counts produced.
 	PassLog *obs.PassLog
+
+	// PartitionHook, when non-nil, runs after each function's partition
+	// has been computed and validated and may mutate it in place. It
+	// exists for the differential-testing subsystem to inject known-bad
+	// partitions (fault injection, bypassing Validate); production callers
+	// leave it nil.
+	PartitionHook func(fn string, part *core.Partition)
 }
 
 // FuncStat records per-function compilation statistics.
@@ -139,6 +146,9 @@ func Compile(mod *ir.Module, opts Options) (*Result, error) {
 			}
 			if err := part.Validate(); err != nil {
 				return nil, fmt.Errorf("codegen: partition invalid: %v", err)
+			}
+			if opts.PartitionHook != nil {
+				opts.PartitionHook(fn.Name, part)
 			}
 			opts.PassLog.Add("partition", fn.Name, time.Since(partStart).Nanoseconds(),
 				len(g.Nodes), len(g.Nodes))

@@ -1,171 +1,33 @@
 package codegen_test
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
+	"errors"
 	"testing"
 
-	"fpint/internal/codegen"
 	"fpint/internal/core"
-	"fpint/internal/interp"
-	"fpint/internal/sim"
+	"fpint/internal/difftest"
 )
 
-// progGen generates random (but always well-formed and terminating) mini-C
-// programs for differential testing: every compiled variant must agree
-// with the IR interpreter.
-type progGen struct {
-	r   *rand.Rand
-	sb  strings.Builder
-	nfn int
-}
+// These tests drive the shared difftest generator and oracle (the former
+// package-private program generator was folded into internal/difftest, so
+// the fuzz CLI, the go-fuzz targets, and this suite all draw from one
+// corpus). Each check compiles the program under every scheme and demands
+// bit-exact agreement with the IR interpreter plus the partition-audit and
+// dynamic-counter invariants.
 
-func (g *progGen) pick(opts ...string) string { return opts[g.r.Intn(len(opts))] }
-
-// intExpr produces an integer expression over the names in scope, bounded
-// in depth. Division and remainder are guarded by construction (divisor is
-// a nonzero constant).
-func (g *progGen) intExpr(scope []string, depth int) string {
-	if depth <= 0 || g.r.Intn(3) == 0 {
-		if len(scope) > 0 && g.r.Intn(2) == 0 {
-			return scope[g.r.Intn(len(scope))]
-		}
-		return fmt.Sprintf("%d", g.r.Intn(2001)-1000)
-	}
-	switch g.r.Intn(8) {
-	case 0:
-		return fmt.Sprintf("(%s %s %s)", g.intExpr(scope, depth-1),
-			g.pick("+", "-", "*", "&", "|", "^"), g.intExpr(scope, depth-1))
-	case 1:
-		return fmt.Sprintf("(%s %s %d)", g.intExpr(scope, depth-1),
-			g.pick("/", "%"), g.r.Intn(9)+1)
-	case 2:
-		return fmt.Sprintf("(%s %s %d)", g.intExpr(scope, depth-1),
-			g.pick("<<", ">>"), g.r.Intn(8))
-	case 3:
-		return fmt.Sprintf("(%s %s %s ? %s : %s)",
-			g.intExpr(scope, depth-1), g.pick("<", ">", "<=", ">=", "==", "!="),
-			g.intExpr(scope, depth-1), g.intExpr(scope, depth-1), g.intExpr(scope, depth-1))
-	case 4:
-		return fmt.Sprintf("(~%s)", g.intExpr(scope, depth-1))
-	case 5:
-		// Written as 0-x: a bare -x followed by a negative literal would
-		// lex as the decrement operator.
-		return fmt.Sprintf("(0 - %s)", g.intExpr(scope, depth-1))
-	case 6:
-		return fmt.Sprintf("(!%s)", g.intExpr(scope, depth-1))
-	default:
-		return fmt.Sprintf("(%s %s %s)",
-			g.condExpr(scope, depth-1), g.pick("&&", "||"), g.condExpr(scope, depth-1))
-	}
-}
-
-func (g *progGen) condExpr(scope []string, depth int) string {
-	return fmt.Sprintf("(%s %s %s)", g.intExpr(scope, depth),
-		g.pick("<", ">", "==", "!="), g.intExpr(scope, depth))
-}
-
-// stmts emits n statements. Loops are bounded counted loops; induction
-// variables are readable inside the body but never assignment targets
-// (write), so every generated program terminates.
-func (g *progGen) stmts(read, write []string, depth, n int) {
-	for i := 0; i < n; i++ {
-		switch g.r.Intn(6) {
-		case 0, 1:
-			if len(write) > 0 {
-				v := write[g.r.Intn(len(write))]
-				fmt.Fprintf(&g.sb, "%s %s= %s;\n", v, g.pick("", "+", "-", "^", "&", "|"), g.intExpr(read, 2))
-				continue
-			}
-			fallthrough
-		case 2:
-			fmt.Fprintf(&g.sb, "acc += arr[(%s) & 15];\n", g.intExpr(read, 2))
-		case 3:
-			fmt.Fprintf(&g.sb, "arr[(%s) & 15] = %s;\n", g.intExpr(read, 1), g.intExpr(read, 2))
-		case 4:
-			fmt.Fprintf(&g.sb, "if (%s) {\n", g.condExpr(read, 1))
-			if depth > 0 {
-				g.stmts(read, write, depth-1, 1+g.r.Intn(2))
-			} else {
-				fmt.Fprintf(&g.sb, "acc ^= 3;\n")
-			}
-			if g.r.Intn(2) == 0 {
-				fmt.Fprintf(&g.sb, "} else {\n")
-				if depth > 0 {
-					g.stmts(read, write, depth-1, 1)
-				} else {
-					fmt.Fprintf(&g.sb, "acc += 1;\n")
-				}
-			}
-			fmt.Fprintf(&g.sb, "}\n")
-		case 5:
-			iv := fmt.Sprintf("i%d_%d", depth, g.r.Intn(1000))
-			fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n", iv, iv, 2+g.r.Intn(12), iv)
-			if depth > 0 {
-				g.stmts(append(read, iv), write, depth-1, 1+g.r.Intn(2))
-			} else {
-				fmt.Fprintf(&g.sb, "acc += %s;\n", iv)
-			}
-			fmt.Fprintf(&g.sb, "}\n")
-		}
-	}
-}
-
-func (g *progGen) gen() string {
-	g.sb.Reset()
-	fmt.Fprintf(&g.sb, "int arr[16];\nint acc;\n")
-	// A couple of helper functions that main calls.
-	g.nfn = g.r.Intn(3)
-	for f := 0; f < g.nfn; f++ {
-		fmt.Fprintf(&g.sb, "int helper%d(int a, int b) {\n", f)
-		g.stmts([]string{"a", "b"}, []string{"a", "b"}, 1, 2)
-		fmt.Fprintf(&g.sb, "return %s;\n}\n", g.intExpr([]string{"a", "b"}, 2))
-	}
-	fmt.Fprintf(&g.sb, "int main() {\nint x = %d;\nint y = %d;\n", g.r.Intn(100), g.r.Intn(100))
-	g.stmts([]string{"x", "y"}, []string{"x", "y"}, 2, 4+g.r.Intn(4))
-	for f := 0; f < g.nfn; f++ {
-		fmt.Fprintf(&g.sb, "acc += helper%d(x & 1023, y & 1023);\n", f)
-	}
-	fmt.Fprintf(&g.sb, "return (acc ^ x ^ y) & 1048575;\n}\n")
-	return g.sb.String()
-}
-
-// TestDifferentialRandomPrograms compiles randomly generated programs under
-// all three schemes and demands bit-exact agreement with the IR
-// interpreter. This is the broadest end-to-end property test of the
-// partitioning + codegen stack.
+// TestDifferentialRandomPrograms is the broadest end-to-end property test
+// of the partitioning + codegen stack.
 func TestDifferentialRandomPrograms(t *testing.T) {
 	n := 60
 	if testing.Short() {
 		n = 10
 	}
-	g := &progGen{r: rand.New(rand.NewSource(20260705))}
 	for i := 0; i < n; i++ {
-		src := g.gen()
-		mod, prof, err := codegen.FrontendPipeline(src)
-		if err != nil {
-			t.Fatalf("program %d: frontend: %v\n%s", i, err, src)
-		}
-		ref, err := interp.New(mod).Run()
-		if err != nil {
-			t.Fatalf("program %d: interp: %v\n%s", i, err, src)
-		}
-		for _, scheme := range []codegen.Scheme{codegen.SchemeNone, codegen.SchemeBasic, codegen.SchemeAdvanced} {
-			res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof})
-			if err != nil {
-				t.Fatalf("program %d/%v: compile: %v\n%s", i, scheme, err, src)
-			}
-			m := sim.New(res.Prog)
-			m.SetStepLimit(100_000_000)
-			out, err := m.Run()
-			if err != nil {
-				t.Fatalf("program %d/%v: run: %v\n%s", i, scheme, err, src)
-			}
-			if out.Ret != ref.Ret {
-				t.Fatalf("program %d/%v: ret=%d interp=%d\n%s\n%s",
-					i, scheme, out.Ret, ref.Ret, src, res.Prog.Disassemble())
-			}
+		seed := int64(20260705 + i)
+		src := difftest.NewGenerator(seed, difftest.DefaultGenConfig()).Program()
+		err := difftest.Check(src, difftest.Options{Interproc: true, CheckProfit: true})
+		if err != nil && !errors.Is(err, difftest.ErrSkip) {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
 		}
 	}
 }
@@ -173,38 +35,19 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 // TestDifferentialRandomCostParams additionally varies the cost-model
 // constants, which changes which copies/duplicates are inserted.
 func TestDifferentialRandomCostParams(t *testing.T) {
-	g := &progGen{r: rand.New(rand.NewSource(42))}
-	params := []struct{ oc, od float64 }{
-		{3, 1.5}, {3, 2.9}, {4, 2}, {6, 1.5}, {6, 5.9}, {100, 1.5}, {1.1, 1.05},
+	params := []core.CostParams{
+		{OCopy: 3, ODupl: 1.5}, {OCopy: 3, ODupl: 2.9}, {OCopy: 4, ODupl: 2},
+		{OCopy: 6, ODupl: 1.5}, {OCopy: 6, ODupl: 5.9}, {OCopy: 100, ODupl: 1.5},
+		{OCopy: 1.1, ODupl: 1.05},
 	}
 	for i := 0; i < 12; i++ {
-		src := g.gen()
-		mod, prof, err := codegen.FrontendPipeline(src)
-		if err != nil {
-			t.Fatalf("program %d: %v", i, err)
-		}
-		ref, err := interp.New(mod).Run()
-		if err != nil {
-			t.Fatalf("program %d: %v", i, err)
-		}
+		seed := int64(42 + i)
+		src := difftest.NewGenerator(seed, difftest.DefaultGenConfig()).Program()
 		for _, pc := range params {
-			res, err := codegen.Compile(mod, codegen.Options{
-				Scheme:  codegen.SchemeAdvanced,
-				Profile: prof,
-				Cost:    costParams(pc.oc, pc.od),
-			})
-			if err != nil {
-				t.Fatalf("program %d o=%v: %v\n%s", i, pc, err, src)
-			}
-			out, err := sim.New(res.Prog).Run()
-			if err != nil {
-				t.Fatalf("program %d o=%v: %v", i, pc, err)
-			}
-			if out.Ret != ref.Ret {
-				t.Fatalf("program %d o=%v: ret=%d interp=%d\n%s", i, pc, out.Ret, ref.Ret, src)
+			err := difftest.Check(src, difftest.Options{Cost: pc, CheckProfit: true})
+			if err != nil && !errors.Is(err, difftest.ErrSkip) {
+				t.Fatalf("seed %d cost %+v: %v\n%s", seed, pc, err, src)
 			}
 		}
 	}
 }
-
-func costParams(oc, od float64) core.CostParams { return core.CostParams{OCopy: oc, ODupl: od} }

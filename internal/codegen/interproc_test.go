@@ -1,10 +1,11 @@
 package codegen_test
 
 import (
-	"math/rand"
+	"errors"
 	"testing"
 
 	"fpint/internal/codegen"
+	"fpint/internal/difftest"
 	"fpint/internal/interp"
 	"fpint/internal/isa"
 	"fpint/internal/sim"
@@ -138,35 +139,18 @@ int main() {
 }
 
 // TestDifferentialInterproc runs the random-program differential suite with
-// the interprocedural extension enabled.
+// the interprocedural extension enabled (shared difftest generator/oracle).
 func TestDifferentialInterproc(t *testing.T) {
-	g := &progGen{r: rand.New(rand.NewSource(777))}
 	n := 25
 	if testing.Short() {
 		n = 5
 	}
 	for i := 0; i < n; i++ {
-		src := g.gen()
-		mod, prof, err := codegen.FrontendPipeline(src)
-		if err != nil {
-			t.Fatalf("program %d: %v", i, err)
-		}
-		ref, err := interp.New(mod).Run()
-		if err != nil {
-			t.Fatalf("program %d: %v", i, err)
-		}
-		res, err := codegen.Compile(mod, codegen.Options{
-			Scheme: codegen.SchemeAdvanced, Profile: prof, InterprocFPArgs: true,
-		})
-		if err != nil {
-			t.Fatalf("program %d: %v\n%s", i, err, src)
-		}
-		out, err := sim.New(res.Prog).Run()
-		if err != nil {
-			t.Fatalf("program %d: %v\n%s", i, err, src)
-		}
-		if out.Ret != ref.Ret {
-			t.Fatalf("program %d: ret=%d want %d\n%s", i, out.Ret, ref.Ret, src)
+		seed := int64(777 + i)
+		src := difftest.NewGenerator(seed, difftest.DefaultGenConfig()).Program()
+		err := difftest.Check(src, difftest.Options{Interproc: true})
+		if err != nil && !errors.Is(err, difftest.ErrSkip) {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
 		}
 	}
 }

@@ -437,6 +437,9 @@ func (s *selector) instr(in *ir.Instr, b *ir.Block) error {
 		}
 		if s.pi.loadValFPa(in) {
 			s.emit(minst{op: isa.LWFA, rd: s.fpOf(in.Dst), rs: base, rt: noReg, imm: in.Imm, target: -1})
+			// A fixed-FP consumer (CvtIF) may still read the value from
+			// the integer file even though no partitionable INT node does.
+			s.afterFpaDef(in)
 			return nil
 		}
 		s.emit(minst{op: isa.LW, rd: s.intOf(in.Dst), rs: base, rt: noReg, imm: in.Imm, target: -1})

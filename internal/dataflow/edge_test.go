@@ -1,0 +1,157 @@
+package dataflow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fpint/internal/dataflow"
+	"fpint/internal/ir"
+)
+
+// TestBitSetEdgeSizes exercises the word-boundary sizes where the packed
+// representation switches word counts: 0 (no words), 63/64 (one word,
+// full), 65 (spills into a second word).
+func TestBitSetEdgeSizes(t *testing.T) {
+	for _, n := range []int{0, 63, 64, 65} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			s := dataflow.NewBitSet(n)
+			if s.Len() != n {
+				t.Fatalf("Len = %d, want %d", s.Len(), n)
+			}
+			if s.Count() != 0 {
+				t.Fatalf("fresh set has count %d", s.Count())
+			}
+			for i := 0; i < n; i++ {
+				s.Set(i)
+			}
+			if s.Count() != n {
+				t.Fatalf("full set count = %d, want %d", s.Count(), n)
+			}
+			if n > 0 {
+				s.Clear(n - 1)
+				if s.Has(n-1) || s.Count() != n-1 {
+					t.Fatalf("clearing top bit %d failed", n-1)
+				}
+				s.Set(n - 1)
+			}
+
+			// Copy/Equal on every size, including zero.
+			c := s.Copy()
+			if !c.Equal(s) || c.Len() != n {
+				t.Fatal("copy differs from original")
+			}
+
+			// Union with a sparse set: change iff n > 0 and the set was
+			// not already full (it is full, so never).
+			o := dataflow.NewBitSet(n)
+			if n > 0 {
+				o.Set(0)
+				o.Set(n - 1)
+			}
+			if changed := s.UnionWith(o); changed {
+				t.Fatal("union into a full set reported change")
+			}
+			if changed := o.UnionWith(s); (n > 2) != changed {
+				t.Fatalf("union change = %v for n=%d", changed, n)
+			}
+
+			// ForEach must visit exactly the members, strictly ordered.
+			prev, visits := -1, 0
+			s.ForEach(func(i int) {
+				if i <= prev || i >= n {
+					t.Fatalf("ForEach out of order or range: %d after %d", i, prev)
+				}
+				prev = i
+				visits++
+			})
+			if visits != n {
+				t.Fatalf("ForEach visited %d members, want %d", visits, n)
+			}
+
+			// Difference drains everything.
+			c.DiffWith(s)
+			if c.Count() != 0 {
+				t.Fatalf("self-difference left %d bits", c.Count())
+			}
+		})
+	}
+}
+
+// buildLivenessFixture constructs one of the liveness edge cases and
+// returns the function plus the blocks of interest.
+func buildLivenessFixture(kind string) (*ir.Func, map[string]*ir.Block) {
+	fn := ir.NewFunc(kind, ir.I64)
+	v := fn.NewVReg(ir.I64)
+	blocks := map[string]*ir.Block{}
+	switch kind {
+	case "empty-pass-through":
+		// entry(def v) → empty → exit(use v): the empty block must
+		// transport liveness untouched.
+		entry := fn.NewBlock()
+		empty := fn.NewBlock()
+		exit := fn.NewBlock()
+		fn.Entry = entry
+		entry.Append(&ir.Instr{Op: ir.OpConst, Dst: v, Imm: 7})
+		entry.Append(&ir.Instr{Op: ir.OpJmp})
+		entry.Succs = []*ir.Block{empty}
+		empty.Succs = []*ir.Block{exit}
+		exit.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{v}})
+		blocks["entry"], blocks["empty"], blocks["exit"] = entry, empty, exit
+	case "unreachable-user":
+		// entry(def v, ret v) plus an orphan block that uses v but has no
+		// predecessors: the solver must not propagate its demand anywhere.
+		entry := fn.NewBlock()
+		orphan := fn.NewBlock()
+		fn.Entry = entry
+		entry.Append(&ir.Instr{Op: ir.OpConst, Dst: v, Imm: 1})
+		entry.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{v}})
+		w := fn.NewVReg(ir.I64)
+		orphan.Append(&ir.Instr{Op: ir.OpCopy, Dst: w, Args: []ir.VReg{v}})
+		orphan.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{w}})
+		blocks["entry"], blocks["orphan"] = entry, orphan
+	}
+	fn.RecomputePreds()
+	fn.Renumber()
+	return fn, blocks
+}
+
+// TestLivenessEdgeBlocks covers blocks the usual fixtures never hit:
+// instruction-less pass-through blocks and unreachable blocks.
+func TestLivenessEdgeBlocks(t *testing.T) {
+	t.Run("empty-pass-through", func(t *testing.T) {
+		fn, bs := buildLivenessFixture("empty-pass-through")
+		lv := dataflow.ComputeLiveness(fn)
+		v := 1 // first allocated vreg
+		if !lv.LiveIn[bs["empty"]].Has(v) || !lv.LiveOut[bs["empty"]].Has(v) {
+			t.Fatal("empty block does not transport liveness of v")
+		}
+		if !lv.LiveOut[bs["entry"]].Has(v) {
+			t.Fatal("v not live out of its defining block")
+		}
+		if lv.LiveIn[bs["entry"]].Has(v) {
+			t.Fatal("v live into entry despite being defined there")
+		}
+		if lv.LiveOut[bs["exit"]].Count() != 0 {
+			t.Fatal("exit block has live-out values")
+		}
+	})
+	t.Run("unreachable-user", func(t *testing.T) {
+		fn, bs := buildLivenessFixture("unreachable-user")
+		lv := dataflow.ComputeLiveness(fn)
+		// Every block — reachable or not — gets live sets.
+		for name, b := range bs {
+			if lv.LiveIn[b] == nil || lv.LiveOut[b] == nil {
+				t.Fatalf("%s: missing live sets", name)
+			}
+		}
+		// The orphan's demand for v must not leak into reachable code:
+		// nothing precedes it, so v is not live out of entry.
+		if lv.LiveOut[bs["entry"]].Count() != 0 {
+			t.Fatal("unreachable use leaked into entry's live-out")
+		}
+		if lv.LiveOut[bs["orphan"]].Count() != 0 {
+			t.Fatal("orphan block has live-out values")
+		}
+	})
+}

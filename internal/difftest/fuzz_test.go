@@ -1,0 +1,73 @@
+package difftest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpint/internal/irgen"
+	"fpint/internal/lang"
+	"fpint/internal/opt"
+)
+
+// FuzzDifferential feeds fuzzer-chosen seeds to the program generator and
+// demands the oracle find zero mismatches: every program must behave
+// identically in the interpreter and in compiled form under every
+// partition scheme. Run with `go test -fuzz FuzzDifferential`.
+func FuzzDifferential(f *testing.F) {
+	for s := int64(1); s <= 12; s++ {
+		f.Add(s, false)
+	}
+	f.Add(int64(99), true)
+	f.Fuzz(func(t *testing.T, seed int64, traps bool) {
+		cfg := DefaultGenConfig()
+		cfg.Traps = traps
+		src := NewGenerator(seed, cfg).Program()
+		err := Check(src, Options{Interproc: true, CheckProfit: true})
+		if err != nil && !errors.Is(err, ErrSkip) {
+			t.Fatalf("seed %d traps=%v: %v\n%s", seed, traps, err, src)
+		}
+	})
+}
+
+// FuzzParser throws arbitrary source at the frontend, seeded with the
+// testdata corpus. Anything that parses and checks must (a) survive the
+// printer round trip and (b) lower to IR that passes the verifier.
+func FuzzParser(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.c"))
+	for _, file := range files {
+		if data, err := os.ReadFile(file); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add("int main() { return 0; }")
+	f.Add("int g[8] = {1, 2}; float f = 0.5; int main() { print(g[1]); return 0; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return // rejecting garbage is correct behavior
+		}
+		if err := lang.Check(prog); err != nil {
+			return
+		}
+		out := Print(prog)
+		p2, err := lang.Parse(out)
+		if err != nil {
+			t.Fatalf("printed source does not reparse: %v\n%s", err, out)
+		}
+		if err := lang.Check(p2); err != nil {
+			t.Fatalf("printed source does not recheck: %v\n%s", err, out)
+		}
+		mod, err := irgen.Lower(p2)
+		if err != nil {
+			return // lowering may reject checked programs (resource limits)
+		}
+		opt.Optimize(mod)
+		for _, fn := range mod.Funcs {
+			if err := fn.Verify(); err != nil {
+				t.Fatalf("optimized IR fails verification: %v\n%s", err, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,477 @@
+// Package difftest is the differential-testing subsystem: a seeded random
+// generator of well-typed mini-C programs, a multi-scheme semantics oracle
+// that cross-checks the IR interpreter against compiled code under every
+// partitioning scheme and machine configuration, and a delta-debugging
+// reducer that shrinks failing programs to minimal reproducers.
+//
+// The subsystem machine-checks the paper's central contract: partitioning
+// integer work onto the idle floating-point subsystem is semantics
+// preserving. Every generated program must produce bit-identical results
+// whether it runs on the reference interpreter or as compiled code under
+// the basic, advanced, or balanced scheme on any simulated machine.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig bounds the shape of generated programs.
+type GenConfig struct {
+	// MaxStmts is the total statement budget of the program.
+	MaxStmts int
+	// MaxDepth bounds statement nesting (loops/conditionals).
+	MaxDepth int
+	// MaxExprDepth bounds expression nesting.
+	MaxExprDepth int
+	// MaxLoopIter bounds every counted loop's iteration count.
+	MaxLoopIter int
+	// Helpers is the maximum number of helper functions.
+	Helpers int
+	// Floats enables float locals, globals, expressions, and the
+	// __itof/__ftoi conversions that create mixed INT/FP dataflow.
+	Floats bool
+	// Traps permits unguarded integer division/remainder, so generated
+	// programs may legitimately trap; the oracle then demands the same
+	// trap kind from every execution engine.
+	Traps bool
+}
+
+// DefaultGenConfig returns the standard fuzzing shape: small, terminating,
+// trap-free programs with mixed integer/float dataflow.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxStmts:     24,
+		MaxDepth:     3,
+		MaxExprDepth: 3,
+		MaxLoopIter:  12,
+		Helpers:      2,
+		Floats:       true,
+	}
+}
+
+// Generator produces random well-typed mini-C programs. Programs are
+// terminating by construction: every loop is a counted loop whose
+// induction variable is readable but never a write target, and loop-body
+// increments precede any continue.
+type Generator struct {
+	r    *rand.Rand
+	cfg  GenConfig
+	sb   strings.Builder
+	stmt int // statements emitted so far
+	uniq int // unique-name counter
+
+	intArrays []arrayInfo
+	fltArrays []arrayInfo
+	helpers   []helperInfo
+}
+
+type arrayInfo struct {
+	name string
+	mask int64 // power-of-two length − 1, for index masking
+}
+
+type helperInfo struct {
+	name   string
+	ret    string // "int" or "float"
+	params []string
+}
+
+// NewGenerator returns a generator for the given seed and configuration.
+func NewGenerator(seed int64, cfg GenConfig) *Generator {
+	if cfg.MaxStmts == 0 {
+		cfg = DefaultGenConfig()
+	}
+	return &Generator{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// scopeVar is a variable visible to expression generation.
+type scopeVar struct {
+	name     string
+	isFloat  bool
+	writable bool
+}
+
+func (g *Generator) pick(opts ...string) string { return opts[g.r.Intn(len(opts))] }
+
+func (g *Generator) fresh(prefix string) string {
+	g.uniq++
+	return fmt.Sprintf("%s%d", prefix, g.uniq)
+}
+
+func ints(scope []scopeVar) []scopeVar {
+	var out []scopeVar
+	for _, v := range scope {
+		if !v.isFloat {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func floats(scope []scopeVar) []scopeVar {
+	var out []scopeVar
+	for _, v := range scope {
+		if v.isFloat {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func writables(vars []scopeVar) []scopeVar {
+	var out []scopeVar
+	for _, v := range vars {
+		if v.writable {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// intExpr produces an integer-typed expression over the scope.
+func (g *Generator) intExpr(scope []scopeVar, depth int) string {
+	iv := ints(scope)
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		if len(iv) > 0 && g.r.Intn(3) != 0 {
+			return iv[g.r.Intn(len(iv))].name
+		}
+		return fmt.Sprintf("%d", g.r.Intn(2001)-1000)
+	}
+	switch g.r.Intn(12) {
+	case 0, 1:
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(scope, depth-1),
+			g.pick("+", "-", "*", "&", "|", "^"), g.intExpr(scope, depth-1))
+	case 2:
+		if g.cfg.Traps && g.r.Intn(3) == 0 {
+			// Unguarded: the divisor may be zero at run time.
+			return fmt.Sprintf("(%s %s %s)", g.intExpr(scope, depth-1),
+				g.pick("/", "%"), g.intExpr(scope, depth-1))
+		}
+		// Guarded by construction: `| 1` makes the divisor odd, hence
+		// nonzero.
+		return fmt.Sprintf("(%s %s (%s | 1))", g.intExpr(scope, depth-1),
+			g.pick("/", "%"), g.intExpr(scope, depth-1))
+	case 3:
+		return fmt.Sprintf("(%s %s %d)", g.intExpr(scope, depth-1),
+			g.pick("<<", ">>"), g.r.Intn(10))
+	case 4:
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(scope, depth-1),
+			g.pick("<", "<=", ">", ">=", "==", "!="), g.intExpr(scope, depth-1))
+	case 5:
+		return fmt.Sprintf("(%s %s %s)", g.boolExpr(scope, depth-1),
+			g.pick("&&", "||"), g.boolExpr(scope, depth-1))
+	case 6:
+		return fmt.Sprintf("(%s(%s))", g.pick("~", "!"), g.intExpr(scope, depth-1))
+	case 7:
+		return fmt.Sprintf("(0 - %s)", g.intExpr(scope, depth-1))
+	case 8:
+		return fmt.Sprintf("(%s ? %s : %s)", g.boolExpr(scope, depth-1),
+			g.intExpr(scope, depth-1), g.intExpr(scope, depth-1))
+	case 9:
+		if len(g.intArrays) > 0 {
+			a := g.intArrays[g.r.Intn(len(g.intArrays))]
+			return fmt.Sprintf("%s[(%s) & %d]", a.name, g.intExpr(scope, depth-1), a.mask)
+		}
+		return g.intExpr(scope, depth-1)
+	case 10:
+		if g.cfg.Floats && g.r.Intn(2) == 0 {
+			// Mixed dataflow: a float comparison delivers an integer truth
+			// value, or a float value is truncated into the integer world.
+			if g.r.Intn(2) == 0 {
+				return fmt.Sprintf("(%s %s %s)", g.fltExpr(scope, depth-1),
+					g.pick("<", "<=", ">", ">=", "==", "!="), g.fltExpr(scope, depth-1))
+			}
+			return fmt.Sprintf("__ftoi(%s)", g.fltExpr(scope, depth-1))
+		}
+		return g.intExpr(scope, depth-1)
+	default:
+		if h := g.intHelper(); h != nil && g.r.Intn(2) == 0 {
+			return g.callExpr(*h, scope, depth-1)
+		}
+		return g.intExpr(scope, depth-1)
+	}
+}
+
+// boolExpr is an integer expression used as a condition.
+func (g *Generator) boolExpr(scope []scopeVar, depth int) string {
+	if depth <= 0 {
+		return fmt.Sprintf("(%s %s %d)", g.intExpr(scope, 0), g.pick("<", ">", "==", "!="), g.r.Intn(64))
+	}
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(scope, depth-1),
+		g.pick("<", "<=", ">", ">=", "==", "!="), g.intExpr(scope, depth-1))
+}
+
+// fltExpr produces a float-typed expression over the scope.
+func (g *Generator) fltExpr(scope []scopeVar, depth int) string {
+	fv := floats(scope)
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		if len(fv) > 0 && g.r.Intn(3) != 0 {
+			return fv[g.r.Intn(len(fv))].name
+		}
+		return g.pick("0.5", "1.25", "2.0", "3.5", "0.125", "10.0")
+	}
+	switch g.r.Intn(8) {
+	case 0, 1, 2:
+		return fmt.Sprintf("(%s %s %s)", g.fltExpr(scope, depth-1),
+			g.pick("+", "-", "*"), g.fltExpr(scope, depth-1))
+	case 3:
+		// Float division cannot trap; ±Inf/NaN propagate identically
+		// through every engine.
+		return fmt.Sprintf("(%s / %s)", g.fltExpr(scope, depth-1), g.fltExpr(scope, depth-1))
+	case 4:
+		return fmt.Sprintf("__itof(%s)", g.intExpr(scope, depth-1))
+	case 5:
+		return fmt.Sprintf("(%s ? %s : %s)", g.boolExpr(scope, depth-1),
+			g.fltExpr(scope, depth-1), g.fltExpr(scope, depth-1))
+	case 6:
+		if len(g.fltArrays) > 0 {
+			a := g.fltArrays[g.r.Intn(len(g.fltArrays))]
+			return fmt.Sprintf("%s[(%s) & %d]", a.name, g.intExpr(scope, depth-1), a.mask)
+		}
+		return g.fltExpr(scope, depth-1)
+	default:
+		if h := g.fltHelper(); h != nil && g.r.Intn(2) == 0 {
+			return g.callExpr(*h, scope, depth-1)
+		}
+		return g.fltExpr(scope, depth-1)
+	}
+}
+
+func (g *Generator) intHelper() *helperInfo {
+	for i := range g.helpers {
+		if g.helpers[i].ret == "int" {
+			return &g.helpers[i]
+		}
+	}
+	return nil
+}
+
+func (g *Generator) fltHelper() *helperInfo {
+	for i := range g.helpers {
+		if g.helpers[i].ret == "float" {
+			return &g.helpers[i]
+		}
+	}
+	return nil
+}
+
+func (g *Generator) callExpr(h helperInfo, scope []scopeVar, depth int) string {
+	args := make([]string, len(h.params))
+	for i, pt := range h.params {
+		if pt == "float" {
+			args[i] = g.fltExpr(scope, depth)
+		} else {
+			args[i] = g.intExpr(scope, depth)
+		}
+	}
+	return fmt.Sprintf("%s(%s)", h.name, strings.Join(args, ", "))
+}
+
+// stmts emits up to n statements into the current block. inLoop permits
+// break/continue (a loop's increment always precedes them, so continue
+// cannot skip it).
+func (g *Generator) stmts(scope []scopeVar, depth, n int, inLoop bool) []scopeVar {
+	for i := 0; i < n; i++ {
+		if g.stmt >= g.cfg.MaxStmts {
+			return scope
+		}
+		g.stmt++
+		switch g.r.Intn(14) {
+		case 0, 1: // integer assignment
+			if w := writables(ints(scope)); len(w) > 0 {
+				v := w[g.r.Intn(len(w))]
+				fmt.Fprintf(&g.sb, "%s %s= %s;\n", v.name,
+					g.pick("", "+", "-", "^", "&", "|"), g.intExpr(scope, g.cfg.MaxExprDepth))
+				continue
+			}
+			fallthrough
+		case 2: // array store
+			if len(g.intArrays) > 0 {
+				a := g.intArrays[g.r.Intn(len(g.intArrays))]
+				fmt.Fprintf(&g.sb, "%s[(%s) & %d] = %s;\n", a.name,
+					g.intExpr(scope, 1), a.mask, g.intExpr(scope, g.cfg.MaxExprDepth))
+				continue
+			}
+			fmt.Fprintf(&g.sb, "print(%s);\n", g.intExpr(scope, 2))
+		case 3: // new local
+			name := g.fresh("v")
+			if g.cfg.Floats && g.r.Intn(3) == 0 {
+				fmt.Fprintf(&g.sb, "float %s = %s;\n", name, g.fltExpr(scope, 2))
+				scope = append(scope, scopeVar{name: name, isFloat: true, writable: true})
+			} else {
+				fmt.Fprintf(&g.sb, "int %s = %s;\n", name, g.intExpr(scope, 2))
+				scope = append(scope, scopeVar{name: name, writable: true})
+			}
+		case 4: // if / if-else
+			fmt.Fprintf(&g.sb, "if %s {\n", g.boolExpr(scope, 1))
+			if depth > 0 {
+				g.stmts(scope, depth-1, 1+g.r.Intn(2), inLoop)
+			} else {
+				fmt.Fprintf(&g.sb, "print(%s);\n", g.intExpr(scope, 1))
+			}
+			if g.r.Intn(2) == 0 {
+				fmt.Fprintf(&g.sb, "} else {\n")
+				if depth > 0 {
+					g.stmts(scope, depth-1, 1, inLoop)
+				} else {
+					fmt.Fprintf(&g.sb, "print(%s);\n", g.intExpr(scope, 1))
+				}
+			}
+			fmt.Fprintf(&g.sb, "}\n")
+		case 5, 6: // for loop
+			iv := g.fresh("i")
+			fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n",
+				iv, iv, 2+g.r.Intn(g.cfg.MaxLoopIter), iv)
+			inner := append(append([]scopeVar{}, scope...), scopeVar{name: iv})
+			if depth > 0 {
+				g.stmts(inner, depth-1, 1+g.r.Intn(3), true)
+			} else {
+				fmt.Fprintf(&g.sb, "gacc += %s;\n", iv)
+			}
+			fmt.Fprintf(&g.sb, "}\n")
+		case 7: // while loop with a leading increment
+			iv := g.fresh("w")
+			fmt.Fprintf(&g.sb, "int %s = 0;\nwhile (%s < %d) {\n%s++;\n",
+				iv, iv, 2+g.r.Intn(g.cfg.MaxLoopIter), iv)
+			inner := append(append([]scopeVar{}, scope...), scopeVar{name: iv})
+			if depth > 0 {
+				g.stmts(inner, depth-1, 1+g.r.Intn(2), true)
+			} else {
+				fmt.Fprintf(&g.sb, "gacc ^= %s;\n", iv)
+			}
+			fmt.Fprintf(&g.sb, "}\n")
+		case 8: // do-while loop with a leading increment
+			iv := g.fresh("d")
+			fmt.Fprintf(&g.sb, "int %s = 0;\ndo {\n%s++;\n", iv, iv)
+			inner := append(append([]scopeVar{}, scope...), scopeVar{name: iv})
+			if depth > 0 {
+				g.stmts(inner, depth-1, 1, true)
+			} else {
+				fmt.Fprintf(&g.sb, "gacc += %s;\n", iv)
+			}
+			fmt.Fprintf(&g.sb, "} while (%s < %d);\n", iv, 1+g.r.Intn(g.cfg.MaxLoopIter))
+		case 9: // guarded break/continue
+			if inLoop {
+				fmt.Fprintf(&g.sb, "if %s { %s; }\n", g.boolExpr(scope, 1), g.pick("break", "continue"))
+				continue
+			}
+			fmt.Fprintf(&g.sb, "gacc += %s;\n", g.intExpr(scope, 2))
+		case 10: // output
+			if g.cfg.Floats && g.r.Intn(3) == 0 {
+				fmt.Fprintf(&g.sb, "printf_(%s);\n", g.fltExpr(scope, 2))
+			} else {
+				fmt.Fprintf(&g.sb, "print(%s);\n", g.intExpr(scope, 2))
+			}
+		case 11: // float accumulation
+			if g.cfg.Floats {
+				if w := writables(floats(scope)); len(w) > 0 {
+					v := w[g.r.Intn(len(w))]
+					fmt.Fprintf(&g.sb, "%s %s= %s;\n", v.name,
+						g.pick("", "+", "-", "*"), g.fltExpr(scope, g.cfg.MaxExprDepth))
+					continue
+				}
+			}
+			fmt.Fprintf(&g.sb, "gacc -= %s;\n", g.intExpr(scope, 2))
+		case 12: // float array store
+			if len(g.fltArrays) > 0 {
+				a := g.fltArrays[g.r.Intn(len(g.fltArrays))]
+				fmt.Fprintf(&g.sb, "%s[(%s) & %d] = %s;\n", a.name,
+					g.intExpr(scope, 1), a.mask, g.fltExpr(scope, 2))
+				continue
+			}
+			fmt.Fprintf(&g.sb, "gacc ^= %s;\n", g.intExpr(scope, 2))
+		default: // global accumulation
+			fmt.Fprintf(&g.sb, "gacc %s= %s;\n", g.pick("+", "^", "-"),
+				g.intExpr(scope, g.cfg.MaxExprDepth))
+		}
+	}
+	return scope
+}
+
+// Program generates one complete well-typed program.
+func (g *Generator) Program() string {
+	g.sb.Reset()
+	g.stmt = 0
+	g.uniq = 0
+	g.intArrays = nil
+	g.fltArrays = nil
+	g.helpers = nil
+
+	// Globals: an accumulator, one or two integer arrays, optionally a
+	// float array and a float global.
+	fmt.Fprintf(&g.sb, "int gacc;\n")
+	nArr := 1 + g.r.Intn(2)
+	for i := 0; i < nArr; i++ {
+		ln := int64(8 << g.r.Intn(3)) // 8, 16, or 32
+		name := fmt.Sprintf("garr%d", i)
+		g.intArrays = append(g.intArrays, arrayInfo{name: name, mask: ln - 1})
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "int %s[%d] = {%d, %d, %d};\n", name, ln,
+				g.r.Intn(100), g.r.Intn(100)-50, g.r.Intn(1000))
+		} else {
+			fmt.Fprintf(&g.sb, "int %s[%d];\n", name, ln)
+		}
+	}
+	if g.cfg.Floats {
+		ln := int64(8)
+		g.fltArrays = append(g.fltArrays, arrayInfo{name: "gfarr", mask: ln - 1})
+		fmt.Fprintf(&g.sb, "float gfarr[%d] = {1.5, 0.25};\n", ln)
+	}
+
+	// Helper functions (no recursion: helpers only call earlier helpers).
+	nh := 0
+	if g.cfg.Helpers > 0 {
+		nh = g.r.Intn(g.cfg.Helpers + 1)
+	}
+	for i := 0; i < nh; i++ {
+		h := helperInfo{name: fmt.Sprintf("h%d", i), ret: "int"}
+		if g.cfg.Floats && g.r.Intn(3) == 0 {
+			h.ret = "float"
+		}
+		np := 1 + g.r.Intn(3)
+		var scope []scopeVar
+		var decl []string
+		for p := 0; p < np; p++ {
+			pt := "int"
+			if g.cfg.Floats && g.r.Intn(4) == 0 {
+				pt = "float"
+			}
+			pn := fmt.Sprintf("p%d", p)
+			h.params = append(h.params, pt)
+			decl = append(decl, fmt.Sprintf("%s %s", pt, pn))
+			scope = append(scope, scopeVar{name: pn, isFloat: pt == "float", writable: true})
+		}
+		prevHelpers := g.helpers // earlier helpers only
+		g.helpers = prevHelpers
+		fmt.Fprintf(&g.sb, "%s %s(%s) {\n", h.ret, h.name, strings.Join(decl, ", "))
+		scope = g.stmts(scope, 1, 2, false)
+		if h.ret == "float" {
+			fmt.Fprintf(&g.sb, "return %s;\n}\n", g.fltExpr(scope, 2))
+		} else {
+			fmt.Fprintf(&g.sb, "return %s;\n}\n", g.intExpr(scope, 2))
+		}
+		g.helpers = append(g.helpers, h)
+	}
+
+	// main.
+	fmt.Fprintf(&g.sb, "int main() {\n")
+	scope := []scopeVar{
+		{name: "x", writable: true},
+		{name: "y", writable: true},
+	}
+	fmt.Fprintf(&g.sb, "int x = %d;\nint y = %d;\n", g.r.Intn(200), g.r.Intn(200)-100)
+	if g.cfg.Floats {
+		fmt.Fprintf(&g.sb, "float fx = %s;\n", g.pick("0.5", "2.5", "1.0"))
+		scope = append(scope, scopeVar{name: "fx", isFloat: true, writable: true})
+	}
+	scope = g.stmts(scope, g.cfg.MaxDepth, 6+g.r.Intn(6), false)
+	// Fold everything observable into the exit value.
+	if g.cfg.Floats {
+		fmt.Fprintf(&g.sb, "printf_(fx);\n")
+	}
+	fmt.Fprintf(&g.sb, "print(gacc);\n")
+	fmt.Fprintf(&g.sb, "return (gacc ^ x ^ y) & 1048575;\n}\n")
+	return g.sb.String()
+}

@@ -1,0 +1,270 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"fpint/internal/lang"
+)
+
+// Print renders a lang AST back to parseable source. The output is
+// canonical: every composite expression is parenthesized, every control
+// body is braced, and negative literals are spelled as subtractions so no
+// token pair can re-lex as `--`. Print(Parse(src)) must always re-parse
+// and re-check to a semantically identical program; the reducer depends on
+// this round trip to apply AST-level mutations.
+func Print(p *lang.Program) string {
+	var pr printer
+	for _, g := range p.Globals {
+		pr.global(g)
+	}
+	for _, f := range p.Funcs {
+		pr.fn(f)
+	}
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (pr *printer) line(format string, args ...any) {
+	pr.sb.WriteString(strings.Repeat("  ", pr.indent))
+	fmt.Fprintf(&pr.sb, format, args...)
+	pr.sb.WriteByte('\n')
+}
+
+// floatToken renders a float value as a single lexable token (digits,
+// a mandatory dot, no exponent, no sign).
+func floatToken(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if strings.ContainsAny(s, "eE") {
+		s = strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	if !strings.Contains(s, ".") {
+		s += ".0"
+	}
+	return s
+}
+
+// floatExprStr renders a float value as an expression, handling signs and
+// non-finite values that have no literal spelling.
+func floatExprStr(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "(0.0 / 0.0)"
+	case math.IsInf(v, 1):
+		return "(1.0 / 0.0)"
+	case math.IsInf(v, -1):
+		return "(0.0 - (1.0 / 0.0))"
+	case math.Signbit(v):
+		return fmt.Sprintf("(0.0 - %s)", floatToken(-v))
+	default:
+		return floatToken(v)
+	}
+}
+
+func intExprStr(v int64) string {
+	if v < 0 {
+		// Spelled as a subtraction so `x - -5` cannot lex as decrement;
+		// also sidesteps the unrepresentable -MinInt64 negation.
+		return fmt.Sprintf("(0 - %s)", strconv.FormatUint(uint64(-(v+1))+1, 10))
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+func (pr *printer) global(g *lang.GlobalDecl) {
+	base := g.Type
+	if g.Type.IsArray() {
+		base = g.Type.Elem()
+	}
+	var init string
+	switch {
+	case g.Type.IsArray() && (len(g.InitInt) > 0 || len(g.InitFlt) > 0):
+		var parts []string
+		for _, v := range g.InitInt {
+			parts = append(parts, strconv.FormatInt(v, 10))
+		}
+		for _, v := range g.InitFlt {
+			parts = append(parts, signedFloatToken(v))
+		}
+		init = fmt.Sprintf(" = {%s}", strings.Join(parts, ", "))
+	case !g.Type.IsArray() && len(g.InitInt) > 0:
+		init = fmt.Sprintf(" = %d", g.InitInt[0])
+	case !g.Type.IsArray() && len(g.InitFlt) > 0:
+		init = fmt.Sprintf(" = %s", signedFloatToken(g.InitFlt[0]))
+	}
+	if g.Type.IsArray() {
+		pr.line("%s %s[%d]%s;", base, g.Name, g.ArrayLen, init)
+	} else {
+		pr.line("%s %s%s;", base, g.Name, init)
+	}
+}
+
+// signedFloatToken is the global-initializer form, where the parser accepts
+// a leading minus directly.
+func signedFloatToken(v float64) string {
+	if math.Signbit(v) && !math.IsNaN(v) {
+		return "-" + floatToken(-v)
+	}
+	return floatToken(v)
+}
+
+func (pr *printer) fn(f *lang.FuncDecl) {
+	var params []string
+	for _, p := range f.Params {
+		if p.Type.IsArray() {
+			params = append(params, fmt.Sprintf("%s %s[]", p.Type.Elem(), p.Name))
+		} else {
+			params = append(params, fmt.Sprintf("%s %s", p.Type, p.Name))
+		}
+	}
+	pr.line("%s %s(%s) {", f.Ret, f.Name, strings.Join(params, ", "))
+	pr.indent++
+	for _, s := range f.Body.Stmts {
+		pr.stmt(s)
+	}
+	pr.indent--
+	pr.line("}")
+}
+
+// braced prints s as a braced body regardless of its concrete kind.
+func (pr *printer) braced(s lang.Stmt) {
+	if b, ok := s.(*lang.BlockStmt); ok {
+		for _, inner := range b.Stmts {
+			pr.stmt(inner)
+		}
+		return
+	}
+	if s != nil {
+		pr.stmt(s)
+	}
+}
+
+func (pr *printer) stmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		pr.line("{")
+		pr.indent++
+		for _, inner := range st.Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *lang.VarDeclStmt:
+		if st.Type.IsArray() {
+			pr.line("%s %s[%d];", st.Type.Elem(), st.Name, st.ArrayLen)
+		} else if st.Init != nil {
+			pr.line("%s %s = %s;", st.Type, st.Name, expr(st.Init))
+		} else {
+			pr.line("%s %s;", st.Type, st.Name)
+		}
+	case *lang.ExprStmt:
+		pr.line("%s;", expr(st.X))
+	case *lang.IfStmt:
+		pr.line("if (%s) {", expr(st.Cond))
+		pr.indent++
+		pr.braced(st.Then)
+		pr.indent--
+		if st.Else != nil {
+			pr.line("} else {")
+			pr.indent++
+			pr.braced(st.Else)
+			pr.indent--
+		}
+		pr.line("}")
+	case *lang.WhileStmt:
+		pr.line("while (%s) {", expr(st.Cond))
+		pr.indent++
+		pr.braced(st.Body)
+		pr.indent--
+		pr.line("}")
+	case *lang.DoWhileStmt:
+		pr.line("do {")
+		pr.indent++
+		pr.braced(st.Body)
+		pr.indent--
+		pr.line("} while (%s);", expr(st.Cond))
+	case *lang.ForStmt:
+		init := ""
+		switch is := st.Init.(type) {
+		case *lang.VarDeclStmt:
+			if is.Init != nil {
+				init = fmt.Sprintf("%s %s = %s", is.Type, is.Name, expr(is.Init))
+			} else {
+				init = fmt.Sprintf("%s %s", is.Type, is.Name)
+			}
+		case *lang.ExprStmt:
+			init = expr(is.X)
+		}
+		cond, post := "", ""
+		if st.Cond != nil {
+			cond = expr(st.Cond)
+		}
+		if st.Post != nil {
+			post = expr(st.Post)
+		}
+		pr.line("for (%s; %s; %s) {", init, cond, post)
+		pr.indent++
+		pr.braced(st.Body)
+		pr.indent--
+		pr.line("}")
+	case *lang.ReturnStmt:
+		if st.X != nil {
+			pr.line("return %s;", expr(st.X))
+		} else {
+			pr.line("return;")
+		}
+	case *lang.BreakStmt:
+		pr.line("break;")
+	case *lang.ContinueStmt:
+		pr.line("continue;")
+	default:
+		panic(fmt.Sprintf("difftest: unknown stmt %T", s))
+	}
+}
+
+var unarySpelling = map[lang.UnaryOp]string{
+	lang.UnNeg: "-", lang.UnNot: "!", lang.UnBitNot: "~",
+}
+
+func expr(e lang.Expr) string {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return intExprStr(x.Val)
+	case *lang.FloatLit:
+		return floatExprStr(x.Val)
+	case *lang.Ident:
+		return x.Name
+	case *lang.IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Base.Name, expr(x.Idx))
+	case *lang.CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = expr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Fn, strings.Join(args, ", "))
+	case *lang.UnaryExpr:
+		return fmt.Sprintf("(%s%s)", unarySpelling[x.Op], expr(x.X))
+	case *lang.BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", expr(x.L), x.Op, expr(x.R))
+	case *lang.CondExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", expr(x.Cond), expr(x.Then), expr(x.Else))
+	case *lang.AssignExpr:
+		op := "="
+		if x.OpValid {
+			op = x.Op.String() + "="
+		}
+		return fmt.Sprintf("(%s %s %s)", expr(x.Lhs), op, expr(x.Rhs))
+	case *lang.IncDecExpr:
+		if x.Decr {
+			return expr(x.Lhs) + "--"
+		}
+		return expr(x.Lhs) + "++"
+	default:
+		panic(fmt.Sprintf("difftest: unknown expr %T", e))
+	}
+}

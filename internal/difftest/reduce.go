@@ -1,0 +1,395 @@
+package difftest
+
+import (
+	"fpint/internal/lang"
+)
+
+// Reduce shrinks a failing program to a (locally) minimal reproducer. The
+// predicate fails must report whether a candidate source still exhibits
+// the original failure; Reduce greedily applies AST-level mutations —
+// deleting functions, globals, and statements, unwrapping control
+// structures, and collapsing expressions to literals or operands — and
+// keeps each one that preserves the failure, iterating to a fixpoint.
+//
+// The returned source is canonical (printed from the AST). If even the
+// canonical form of the input no longer fails, Reduce returns the input
+// unchanged and false.
+func Reduce(src string, fails func(string) bool) (string, bool) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		// Not printable; line-based reduction is pointless for a parser
+		// crash reproducer, so return as-is.
+		return src, false
+	}
+	cur := Print(prog)
+	if !fails(cur) {
+		return src, false
+	}
+
+	// Greedy fixpoint: enumerate mutation sites on the current program,
+	// try each in order, restart from the first one that keeps failing.
+	// Budget bounds the total number of candidate evaluations.
+	budget := 4000
+	for budget > 0 {
+		improved := false
+		n := countMutations(cur)
+		for k := 0; k < n && budget > 0; k++ {
+			cand, ok := applyMutation(cur, k)
+			if !ok || cand == cur {
+				continue
+			}
+			budget--
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break // re-enumerate against the smaller program
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, true
+}
+
+// countMutations parses src and counts its mutation sites.
+func countMutations(src string) int {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return 0
+	}
+	// Checking fills in expression types, which literal replacement needs.
+	if err := lang.Check(prog); err != nil {
+		return 0
+	}
+	m := &mutator{target: -1}
+	m.program(prog)
+	return m.count
+}
+
+// applyMutation parses src, applies the k-th mutation site, and prints the
+// result. ok is false when the mutated program no longer parses or checks
+// (e.g. a deleted declaration still has uses); such candidates are
+// discarded without consuming predicate budget.
+func applyMutation(src string, k int) (string, bool) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	if err := lang.Check(prog); err != nil {
+		return "", false
+	}
+	m := &mutator{target: k}
+	m.program(prog)
+	if !m.applied {
+		return "", false
+	}
+	out := Print(prog)
+	p2, err := lang.Parse(out)
+	if err != nil {
+		return "", false
+	}
+	if err := lang.Check(p2); err != nil {
+		return "", false
+	}
+	return out, true
+}
+
+// mutator walks the AST in a deterministic order, assigning consecutive
+// indices to mutation opportunities. When the counter hits target, the
+// mutation is applied in place.
+type mutator struct {
+	count   int
+	target  int
+	applied bool
+}
+
+// hit reports whether the current site is the target.
+func (m *mutator) hit() bool {
+	h := m.count == m.target
+	m.count++
+	if h {
+		m.applied = true
+	}
+	return h
+}
+
+func (m *mutator) program(p *lang.Program) {
+	// Deleting whole functions first gives the biggest wins.
+	for i := 0; i < len(p.Funcs); i++ {
+		if p.Funcs[i].Name == "main" {
+			continue
+		}
+		if m.hit() {
+			p.Funcs = append(p.Funcs[:i], p.Funcs[i+1:]...)
+			return
+		}
+	}
+	for i := 0; i < len(p.Globals); i++ {
+		if m.hit() {
+			p.Globals = append(p.Globals[:i], p.Globals[i+1:]...)
+			return
+		}
+		// Dropping just the initializer is a smaller step that survives
+		// when the global itself is still referenced.
+		if len(p.Globals[i].InitInt) > 0 || len(p.Globals[i].InitFlt) > 0 {
+			if m.hit() {
+				p.Globals[i].InitInt = nil
+				p.Globals[i].InitFlt = nil
+				return
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		m.block(f.Body)
+		if m.applied {
+			return
+		}
+	}
+	// Expression-level mutations last: they fire once statement-level
+	// reduction has converged.
+	for _, f := range p.Funcs {
+		m.exprStmts(f.Body)
+		if m.applied {
+			return
+		}
+	}
+}
+
+// block enumerates statement-level mutations within b.
+func (m *mutator) block(b *lang.BlockStmt) {
+	for i := 0; i < len(b.Stmts); i++ {
+		if m.hit() {
+			b.Stmts = append(b.Stmts[:i], b.Stmts[i+1:]...)
+			return
+		}
+		if repl, ok := unwrap(b.Stmts[i]); ok {
+			if m.hit() {
+				b.Stmts[i] = repl
+				return
+			}
+		}
+		if ifs, ok := b.Stmts[i].(*lang.IfStmt); ok && ifs.Else != nil {
+			if m.hit() {
+				ifs.Else = nil
+				return
+			}
+		}
+		// Recurse into nested blocks.
+		for _, nested := range nestedBlocks(b.Stmts[i]) {
+			m.block(nested)
+			if m.applied {
+				return
+			}
+		}
+	}
+}
+
+// unwrap proposes replacing a control statement by its body.
+func unwrap(s lang.Stmt) (lang.Stmt, bool) {
+	switch st := s.(type) {
+	case *lang.IfStmt:
+		return st.Then, true
+	case *lang.WhileStmt:
+		return st.Body, true
+	case *lang.DoWhileStmt:
+		return st.Body, true
+	case *lang.ForStmt:
+		return st.Body, true
+	case *lang.BlockStmt:
+		if len(st.Stmts) == 1 {
+			return st.Stmts[0], true
+		}
+	}
+	return nil, false
+}
+
+// nestedBlocks returns the statement lists nested inside s, wrapping
+// single-statement bodies so deletion sites inside them are reachable.
+func nestedBlocks(s lang.Stmt) []*lang.BlockStmt {
+	asBlock := func(x lang.Stmt) *lang.BlockStmt {
+		if x == nil {
+			return nil
+		}
+		if b, ok := x.(*lang.BlockStmt); ok {
+			return b
+		}
+		return nil
+	}
+	var out []*lang.BlockStmt
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		out = append(out, st)
+	case *lang.IfStmt:
+		if b := asBlock(st.Then); b != nil {
+			out = append(out, b)
+		}
+		if b := asBlock(st.Else); b != nil {
+			out = append(out, b)
+		}
+	case *lang.WhileStmt:
+		if b := asBlock(st.Body); b != nil {
+			out = append(out, b)
+		}
+	case *lang.DoWhileStmt:
+		if b := asBlock(st.Body); b != nil {
+			out = append(out, b)
+		}
+	case *lang.ForStmt:
+		if b := asBlock(st.Body); b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// exprStmts enumerates expression-level mutations within every statement
+// of b (recursively).
+func (m *mutator) exprStmts(b *lang.BlockStmt) {
+	for _, s := range b.Stmts {
+		m.stmtExprs(s)
+		if m.applied {
+			return
+		}
+	}
+}
+
+func (m *mutator) stmtExprs(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		m.exprStmts(st)
+	case *lang.VarDeclStmt:
+		if st.Init != nil {
+			st.Init = m.expr(st.Init)
+		}
+	case *lang.ExprStmt:
+		st.X = m.expr(st.X)
+	case *lang.IfStmt:
+		st.Cond = m.expr(st.Cond)
+		if !m.applied {
+			m.stmtExprs(st.Then)
+		}
+		if !m.applied && st.Else != nil {
+			m.stmtExprs(st.Else)
+		}
+	case *lang.WhileStmt:
+		st.Cond = m.expr(st.Cond)
+		if !m.applied {
+			m.stmtExprs(st.Body)
+		}
+	case *lang.DoWhileStmt:
+		st.Cond = m.expr(st.Cond)
+		if !m.applied {
+			m.stmtExprs(st.Body)
+		}
+	case *lang.ForStmt:
+		if st.Init != nil {
+			m.stmtExprs(st.Init)
+		}
+		if !m.applied && st.Cond != nil {
+			st.Cond = m.expr(st.Cond)
+		}
+		if !m.applied && st.Post != nil {
+			st.Post = m.expr(st.Post)
+		}
+		if !m.applied {
+			m.stmtExprs(st.Body)
+		}
+	case *lang.ReturnStmt:
+		if st.X != nil {
+			st.X = m.expr(st.X)
+		}
+	}
+}
+
+// zeroLit builds a zero literal of e's checked type.
+func zeroLit(e lang.Expr) lang.Expr {
+	if e.ExprType() == lang.TypeFloat {
+		return &lang.FloatLit{}
+	}
+	return &lang.IntLit{}
+}
+
+// expr enumerates mutations of e and returns the (possibly replaced)
+// expression. Candidates may still be type-incorrect (e.g. promoting a
+// float operand of a comparison into an int slot); applyMutation's
+// re-check discards those.
+func (m *mutator) expr(e lang.Expr) lang.Expr {
+	if m.applied {
+		return e
+	}
+	switch x := e.(type) {
+	case *lang.IntLit:
+		if x.Val != 0 && m.hit() {
+			return &lang.IntLit{Val: 0, Pos: x.Pos}
+		}
+		return x
+	case *lang.FloatLit:
+		if x.Val != 0 && m.hit() {
+			return &lang.FloatLit{Val: 0, Pos: x.Pos}
+		}
+		return x
+	case *lang.Ident:
+		return x
+	case *lang.IndexExpr:
+		if m.hit() {
+			return zeroLit(x)
+		}
+		x.Idx = m.expr(x.Idx)
+		return x
+	case *lang.CallExpr:
+		if m.hit() {
+			return zeroLit(x)
+		}
+		for i := range x.Args {
+			x.Args[i] = m.expr(x.Args[i])
+			if m.applied {
+				return x
+			}
+		}
+		return x
+	case *lang.UnaryExpr:
+		if m.hit() {
+			return x.X
+		}
+		x.X = m.expr(x.X)
+		return x
+	case *lang.BinaryExpr:
+		if m.hit() {
+			return x.L
+		}
+		if m.hit() {
+			return x.R
+		}
+		if m.hit() {
+			return zeroLit(x)
+		}
+		x.L = m.expr(x.L)
+		if !m.applied {
+			x.R = m.expr(x.R)
+		}
+		return x
+	case *lang.CondExpr:
+		if m.hit() {
+			return x.Then
+		}
+		if m.hit() {
+			return x.Else
+		}
+		x.Cond = m.expr(x.Cond)
+		if !m.applied {
+			x.Then = m.expr(x.Then)
+		}
+		if !m.applied {
+			x.Else = m.expr(x.Else)
+		}
+		return x
+	case *lang.AssignExpr:
+		// Keep the assignment shape; shrink only the right-hand side.
+		x.Rhs = m.expr(x.Rhs)
+		return x
+	case *lang.IncDecExpr:
+		return x
+	}
+	return e
+}

@@ -1,0 +1,137 @@
+package difftest
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fpint/internal/core"
+)
+
+// Failure is one sweep failure: the seed, the full generated program, the
+// oracle's verdict, and (when reduction ran) the minimal reproducer.
+type Failure struct {
+	Seed    int64
+	Src     string
+	Err     error
+	Reduced string // empty when reduction was skipped or did not apply
+}
+
+// SweepResult summarizes a deterministic differential sweep.
+type SweepResult struct {
+	Ran      int // programs the oracle fully judged
+	Skipped  int // reference step-budget exhaustions
+	Failures []Failure
+}
+
+// Sweep generates n programs from consecutive seeds (seed, seed+1, …),
+// checks each against the oracle, and optionally reduces every failure to
+// a minimal reproducer. It is fully deterministic in (seed, n, gcfg, o).
+func Sweep(seed int64, n int, gcfg GenConfig, o Options, reduce bool) SweepResult {
+	var res SweepResult
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		src := NewGenerator(s, gcfg).Program()
+		err := Check(src, o)
+		if errors.Is(err, ErrSkip) {
+			res.Skipped++
+			continue
+		}
+		res.Ran++
+		if err == nil {
+			continue
+		}
+		f := Failure{Seed: s, Src: src, Err: err}
+		if reduce {
+			f.Reduced = ReduceFailure(src, err, o)
+		}
+		res.Failures = append(res.Failures, f)
+	}
+	return res
+}
+
+// ReduceFailure shrinks src while it keeps failing in the same class as
+// origErr: frontend rejections must stay frontend rejections, oracle
+// mismatches must stay mismatches (of any stage — chasing the exact stage
+// overfits the reducer to incidental detail). Reduction always runs with
+// the timing model off; functional divergence is what defines the bug,
+// and the timing model re-runs the same functional simulation anyway.
+func ReduceFailure(src string, origErr error, o Options) string {
+	wasFrontend := errors.Is(origErr, ErrFrontend)
+	ro := o
+	ro.Timing = false
+	pred := func(cand string) bool {
+		err := Check(cand, ro)
+		if err == nil || errors.Is(err, ErrSkip) {
+			return false
+		}
+		return errors.Is(err, ErrFrontend) == wasFrontend
+	}
+	red, ok := Reduce(src, pred)
+	if !ok {
+		return ""
+	}
+	return red
+}
+
+// WriteCrasher persists a failure as a standalone reproducer under dir
+// (conventionally testdata/crashers/). The file name is derived from a
+// hash of the reproducer so re-finding the same bug is idempotent. It
+// returns the written path.
+func WriteCrasher(dir string, f Failure) (string, error) {
+	body := f.Reduced
+	if body == "" {
+		body = f.Src
+	}
+	sum := sha256.Sum256([]byte(body))
+	name := fmt.Sprintf("crasher-%x.c", sum[:6])
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// fpifuzz reproducer (seed %d)\n", f.Seed)
+	for _, line := range strings.Split(strings.TrimRight(f.Err.Error(), "\n"), "\n") {
+		fmt.Fprintf(&sb, "// %s\n", line)
+	}
+	sb.WriteString(body)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// InjectFlip is a PartitionHook that plants the acceptance-criterion bug:
+// it flips main's first flexible, INT-assigned plain node that reads an
+// uncopied INT-side value into FPa. The selector only materializes an
+// INT→FPa copy when the partition mandates one, so the flipped node reads
+// a never-written FP register — exactly the class of miscompile the
+// differential oracle exists to catch.
+func InjectFlip(fn string, part *core.Partition) {
+	if fn != "main" {
+		return
+	}
+	for _, n := range part.G.Nodes {
+		if n.Class != core.ClassFlex || n.Kind != core.KindPlain {
+			continue
+		}
+		if part.Assign[n.ID] != core.SubINT {
+			continue
+		}
+		hasUncopiedIntParent := false
+		for _, p := range n.Parents {
+			if part.Assign[p] == core.SubINT && !part.CopyNodes[p] && !part.DupNodes[p] {
+				hasUncopiedIntParent = true
+				break
+			}
+		}
+		if !hasUncopiedIntParent {
+			continue
+		}
+		part.Assign[n.ID] = core.SubFPa
+		return
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"fpint/internal/ir"
+	"fpint/internal/trap"
 )
 
 // Profile holds basic-block execution counts per function.
@@ -187,7 +188,7 @@ func (m *Machine) callFunc(fn *ir.Func, args []value) (value, error) {
 		for _, in := range blk.Instrs {
 			m.steps++
 			if m.steps > m.maxStep {
-				return value{}, fmt.Errorf("interp: step limit exceeded in %s", fn.Name)
+				return value{}, trap.New(trap.KindStepLimit, "interp", "step limit exceeded in %s", fn.Name)
 			}
 			switch in.Op {
 			case ir.OpNop:
@@ -213,7 +214,7 @@ func (m *Machine) callFunc(fn *ir.Func, args []value) (value, error) {
 				}
 				v, err := intALUOp(in.Op, a, b)
 				if err != nil {
-					return value{}, fmt.Errorf("interp: %v in %s", err, fn.Name)
+					return value{}, fmt.Errorf("interp: %w in %s", err, fn.Name)
 				}
 				regs[in.Dst] = value{i: v}
 			case ir.OpFAdd:
@@ -245,7 +246,7 @@ func (m *Machine) callFunc(fn *ir.Func, args []value) (value, error) {
 			case ir.OpLoad:
 				addr := regs[in.Args[0]].i + in.Imm
 				if addr < 0 || addr+8 > memSize {
-					return value{}, fmt.Errorf("interp: load out of range at %#x in %s", addr, fn.Name)
+					return value{}, trap.New(trap.KindOutOfBounds, "interp", "load out of range at %#x in %s", addr, fn.Name)
 				}
 				m.loads++
 				if in.IsFloat {
@@ -256,7 +257,7 @@ func (m *Machine) callFunc(fn *ir.Func, args []value) (value, error) {
 			case ir.OpStore:
 				addr := regs[in.Args[1]].i + in.Imm
 				if addr < 0 || addr+8 > memSize {
-					return value{}, fmt.Errorf("interp: store out of range at %#x in %s", addr, fn.Name)
+					return value{}, trap.New(trap.KindOutOfBounds, "interp", "store out of range at %#x in %s", addr, fn.Name)
 				}
 				m.stores++
 				if in.IsFloat {
@@ -349,12 +350,12 @@ func intALUOp(op ir.Op, a, b int64) (int64, error) {
 		return a * b, nil
 	case ir.OpDiv:
 		if b == 0 {
-			return 0, fmt.Errorf("division by zero")
+			return 0, trap.New(trap.KindDivideByZero, "interp", "division by zero")
 		}
 		return a / b, nil
 	case ir.OpRem:
 		if b == 0 {
-			return 0, fmt.Errorf("remainder by zero")
+			return 0, trap.New(trap.KindDivideByZero, "interp", "remainder by zero")
 		}
 		return a % b, nil
 	case ir.OpAnd:

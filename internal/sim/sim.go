@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"fpint/internal/isa"
+	"fpint/internal/trap"
 )
 
 // MemSize is the flat memory arena (16 MiB): data segment at the bottom,
@@ -130,7 +131,7 @@ func (m *Machine) Run() (*Result, error) {
 		}
 		steps++
 		if steps > m.maxSteps {
-			return nil, fmt.Errorf("sim: step limit exceeded at PC %d", m.PC)
+			return nil, trap.New(trap.KindStepLimit, "sim", "step limit exceeded at PC %d", m.PC)
 		}
 
 		ev := Event{PC: m.PC, Op: in.Op, IsDup: in.IsDup, Dst: noRegEnc, Src1: noRegEnc, Src2: noRegEnc}
@@ -168,7 +169,7 @@ func (m *Machine) Run() (*Result, error) {
 		}
 		memAccess := func(addr int64) error {
 			if addr < 0 || addr+8 > MemSize {
-				return fmt.Errorf("sim: memory access %#x out of range at PC %d (%s)", addr, m.PC, in)
+				return trap.New(trap.KindOutOfBounds, "sim", "memory access %#x out of range at PC %d (%s)", addr, m.PC, in)
 			}
 			ev.MemAddr = addr
 			return nil
@@ -374,12 +375,12 @@ func intALU(op isa.Opcode, a, b int64, pc int) (int64, error) {
 		return a * b, nil
 	case isa.DIV:
 		if b == 0 {
-			return 0, fmt.Errorf("sim: integer divide by zero at PC %d", pc)
+			return 0, trap.New(trap.KindDivideByZero, "sim", "integer divide by zero at PC %d", pc)
 		}
 		return a / b, nil
 	case isa.REM:
 		if b == 0 {
-			return 0, fmt.Errorf("sim: integer remainder by zero at PC %d", pc)
+			return 0, trap.New(trap.KindDivideByZero, "sim", "integer remainder by zero at PC %d", pc)
 		}
 		return a % b, nil
 	case isa.AND:

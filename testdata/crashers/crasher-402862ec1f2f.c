@@ -1,0 +1,8 @@
+// fpifuzz reproducer (seed 2)
+// difftest mismatch [output basic]: exit value 1047977, interp 1048216
+int gacc;
+int main() {
+  int x = 0;
+  (gacc -= 615);
+  return (gacc ^ x);
+}
