@@ -7,6 +7,7 @@
 //	fpibench -fig8 -fig9     # selected experiments only
 //	fpibench -table1 -table2 # static tables
 //	fpibench -json results.json  # machine-readable results ("-" for stdout)
+//	fpibench -baseline BENCH_BASELINE.json  # regression check against a prior -json report
 package main
 
 import (
@@ -32,12 +33,18 @@ func main() {
 		slices    = flag.Bool("slices", false, "§4 computational-slice weights")
 		imbalance = flag.Bool("imbalance", false, "§7.3 load-imbalance statistics")
 		jsonOut   = flag.String("json", "", "also write the selected experiments as JSON to the given file (\"-\" for stdout, suppressing the tables)")
+		baseline  = flag.String("baseline", "", "compare cycle counts against a prior -json report and exit non-zero on regressions")
+		tolerance = flag.Float64("regress-tolerance", 2.0, "with -baseline: maximum tolerated cycle increase in percent")
 	)
 	flag.Parse()
 	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance)
+	if *baseline != "" && all {
+		// Baseline mode defaults to exactly the cycle-bearing experiments.
+		all, *fig9, *fig10, *fpprogs = false, true, true, true
+	}
 
 	c := &ctx{s: bench.NewSuite(), quiet: *jsonOut == "-"}
-	if *jsonOut != "" {
+	if *jsonOut != "" || *baseline != "" {
 		c.rep = bench.NewReport()
 	}
 	run := func(name string, f func(*ctx) error) {
@@ -81,12 +88,53 @@ func main() {
 		run("Floating-point programs (§7.5)", printFpProgs)
 	}
 
-	if c.rep != nil {
+	if c.rep != nil && *jsonOut != "" {
 		if err := writeTo(*jsonOut, c.rep.WriteJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "fpibench: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	if *baseline != "" {
+		if err := compareBaseline(c.rep, *baseline, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "fpibench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline diffs the current report's cycle counts against a prior
+// -json report and returns an error when any benchmark slowed down by more
+// than tolerance percent.
+func compareBaseline(rep *bench.Report, path string, tolerance float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := bench.LoadBaselineCycles(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	cur, err := bench.ExtractCycles(rep)
+	if err != nil {
+		return err
+	}
+	deltas := bench.CompareCycles(base, cur)
+	if len(deltas) == 0 {
+		return fmt.Errorf("%s: no cycle metrics in common with this run", path)
+	}
+	fmt.Printf("\n================ baseline comparison (%s) ================\n", path)
+	fmt.Printf("%-22s %-10s %-11s %12s %12s %8s\n",
+		"EXPERIMENT", "WORKLOAD", "METRIC", "BASELINE", "CURRENT", "DELTA")
+	for _, d := range deltas {
+		fmt.Printf("%-22s %-10s %-11s %12d %12d %+7.2f%%\n",
+			d.Key.Experiment, d.Key.Workload, d.Key.Field, d.Old, d.New, d.Pct())
+	}
+	if reg := bench.Regressions(deltas, tolerance); len(reg) > 0 {
+		return fmt.Errorf("%d cycle regression(s) beyond %.1f%% tolerance", len(reg), tolerance)
+	}
+	fmt.Printf("no regressions beyond %.1f%% tolerance (%d metrics compared)\n", tolerance, len(deltas))
+	return nil
 }
 
 // ctx carries the shared suite plus the optional JSON report each

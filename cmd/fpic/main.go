@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fpic [-scheme none|basic|advanced] [-dump-ir] [-dump-rdg] [-dump-partition] [-S] file.c
+//	fpic [-scheme none|basic|advanced] [-dump-ir] [-dump-rdg] [-dump-partition] [-S] [-lines] file.c
 //	fpic -example          # compile the paper's Figure 3 gcc fragment
 //	fpic -example -explain # per-component benefit/overhead/profit decisions
 //	fpic -example -json -  # audit trail + pass log as JSON
@@ -21,6 +21,7 @@ import (
 	"fpint/internal/core"
 	"fpint/internal/ir"
 	"fpint/internal/obs"
+	"fpint/internal/obs/profile"
 )
 
 const exampleSrc = `
@@ -55,6 +56,7 @@ func main() {
 		workload   = flag.String("workload", "", "compile a named built-in workload instead of a file")
 		ocopy      = flag.Float64("ocopy", 4, "copy overhead o_copy (paper: 3-6)")
 		odupl      = flag.Float64("odupl", 2, "duplicate overhead o_dupl (paper: 1.5-3)")
+		lines      = flag.Bool("lines", false, "print a line-annotated disassembly (PC, source line, subsystem, IR op)")
 		explain    = flag.Bool("explain", false, "print the partition-decision audit trail per function")
 		passes     = flag.Bool("passes", false, "print per-pass timing and IR instruction deltas")
 		jsonOut    = flag.String("json", "", "write the audit trail, pass log, and per-function stats as JSON to the given file (\"-\" for stdout, suppressing normal output)")
@@ -169,6 +171,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
 		os.Exit(1)
+	}
+	if *lines && !quiet {
+		fmt.Println("==== line-annotated disassembly ====")
+		profile.WriteListing(os.Stdout, res.Prog, func(op uint8) string { return ir.Op(op).String() })
 	}
 	if *explain && !quiet {
 		for _, fn := range mod.Funcs {

@@ -8,6 +8,10 @@
 //	fpisim -workload compress -timing -compare
 //	fpisim -workload compress -timing -json -              # metrics as JSON
 //	fpisim -workload compress -timing -pipetrace-json t.json  # Perfetto trace
+//	fpisim -profile file.c                 # hot-function/hot-line tables
+//	fpisim -annotate file.c                # source with per-line cycles
+//	fpisim -folded out.folded file.c       # flamegraph folded stacks
+//	fpisim -pprof out.pb.gz file.c         # pprof protobuf profile
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
 	"fpint/internal/obs"
+	"fpint/internal/obs/profile"
 	"fpint/internal/sim"
 	"fpint/internal/uarch"
 )
@@ -35,10 +40,14 @@ func main() {
 		jsonOut    = flag.String("json", "", "write run metrics as deterministic JSON to the given file (\"-\" for stdout, suppressing normal output)")
 		csvOut     = flag.String("csv", "", "write run metrics as CSV to the given file (\"-\" for stdout, suppressing normal output)")
 		interproc  = flag.Bool("interproc", false, "enable the §6.6 interprocedural FP-argument extension")
+		profileOut = flag.Bool("profile", false, "print hot-function and hot-line cycle-attribution tables (implies -timing)")
+		annotate   = flag.Bool("annotate", false, "print the source annotated with per-line cycles, offload fraction, and copy/dup overhead (implies -timing)")
+		foldedOut  = flag.String("folded", "", "write folded-stack cycle attribution for flamegraph tooling to the given file (\"-\" for stdout; implies -timing)")
+		pprofOut   = flag.String("pprof", "", "write a gzipped pprof protobuf profile to the given file (implies -timing)")
 	)
 	flag.Parse()
 
-	var src string
+	var src, srcName string
 	if *workload != "" {
 		w := bench.Lookup(*workload)
 		if w == nil {
@@ -46,6 +55,7 @@ func main() {
 			os.Exit(1)
 		}
 		src = w.Src
+		srcName = *workload + ".c"
 	} else {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: fpisim [flags] file.c  (or -workload NAME)")
@@ -57,6 +67,7 @@ func main() {
 			os.Exit(1)
 		}
 		src = string(data)
+		srcName = flag.Arg(0)
 	}
 
 	cfg := uarch.Config4Way()
@@ -95,10 +106,17 @@ func main() {
 		}
 		return
 	}
-	run(src, sch, opts, runConfig{
+	rc := runConfig{
 		cfg: cfg, timing: *timing, pipetrace: *pipetrace,
 		traceJSON: *traceJSON, jsonOut: *jsonOut, csvOut: *csvOut,
-	})
+		profile: *profileOut, annotate: *annotate,
+		foldedOut: *foldedOut, pprofOut: *pprofOut,
+		srcName: srcName,
+	}
+	if rc.wantProfile() {
+		rc.timing = true // attribution needs the cycle-level model
+	}
+	run(src, sch, opts, rc)
 }
 
 type runConfig struct {
@@ -108,11 +126,23 @@ type runConfig struct {
 	traceJSON string
 	jsonOut   string
 	csvOut    string
+	profile   bool
+	annotate  bool
+	foldedOut string
+	pprofOut  string
+	srcName   string
 }
 
-// quiet reports whether human-readable output is suppressed (a metrics
-// document is being streamed to stdout instead).
-func (rc *runConfig) quiet() bool { return rc.jsonOut == "-" || rc.csvOut == "-" }
+// wantProfile reports whether any output needs per-PC cycle attribution.
+func (rc *runConfig) wantProfile() bool {
+	return rc.profile || rc.annotate || rc.foldedOut != "" || rc.pprofOut != ""
+}
+
+// quiet reports whether human-readable output is suppressed (a metrics or
+// profile document is being streamed to stdout instead).
+func (rc *runConfig) quiet() bool {
+	return rc.jsonOut == "-" || rc.csvOut == "-" || rc.foldedOut == "-"
+}
 
 func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (int64, float64) {
 	opts.Scheme = sch
@@ -125,6 +155,7 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 	m := sim.New(res.Prog)
 	var p *uarch.Pipeline
 	var journal *uarch.Journal
+	var cycleProf *uarch.CycleProfile
 	if rc.timing {
 		p = uarch.NewPipeline(rc.cfg)
 		limit := rc.pipetrace
@@ -133,6 +164,9 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		}
 		if limit > 0 {
 			journal = p.AttachJournal(limit)
+		}
+		if rc.wantProfile() {
+			cycleProf = p.AttachProfile()
 		}
 		m.Trace = p.Feed
 	}
@@ -152,12 +186,44 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 			os.Exit(1)
 		}
 	}
+	if cycleProf != nil {
+		pr := profile.Build(res.Prog, cycleProf)
+		if rc.foldedOut != "" {
+			err := writeTo(rc.foldedOut, func(w io.Writer) error {
+				profile.WriteFolded(w, pr)
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if rc.pprofOut != "" {
+			err := writeTo(rc.pprofOut, func(w io.Writer) error {
+				return profile.WritePprof(w, pr, rc.srcName)
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if rc.profile && !rc.quiet() {
+			fmt.Printf("=== hot functions (%s, %s) ===\n", sch, rc.cfg.Name)
+			profile.WriteHotFuncs(os.Stdout, pr, 0)
+			fmt.Printf("=== hot lines ===\n")
+			profile.WriteHotLines(os.Stdout, pr, 20)
+		}
+		if rc.annotate && !rc.quiet() {
+			fmt.Printf("=== annotated source (%s, %s) ===\n", sch, rc.cfg.Name)
+			profile.WriteAnnotated(os.Stdout, pr, src)
+		}
+	}
 	if rc.jsonOut != "" || rc.csvOut != "" {
 		reg := obs.NewRegistry()
 		reg.Gauge("run.exit").Set(float64(out.Ret))
-		out.Stats.AddTo(reg, "sim.")
+		out.Stats.AddTo(reg, obs.PrefixSim)
 		if rc.timing {
-			st.AddTo(reg, "uarch.")
+			st.AddTo(reg, obs.PrefixUarch)
 		}
 		if rc.jsonOut != "" {
 			if err := writeTo(rc.jsonOut, reg.WriteJSON); err != nil {

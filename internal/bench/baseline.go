@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Baseline comparison: fpibench -json reports double as performance
+// baselines. LoadBaselineCycles extracts every per-workload cycle count
+// from a prior report and CompareCycles diffs a fresh run against it, so a
+// timing-model or compiler change that slows a benchmark down fails CI
+// instead of landing silently.
+
+// CycleKey addresses one cycle metric: an experiment, a workload row inside
+// it, and the field name ("baseCycles" or "advCycles").
+type CycleKey struct {
+	Experiment string
+	Workload   string
+	Field      string
+}
+
+// CycleDelta is one baseline-vs-current comparison row.
+type CycleDelta struct {
+	Key CycleKey
+	Old int64
+	New int64
+}
+
+// Pct returns the relative change in percent (positive = more cycles =
+// slower than the baseline).
+func (d CycleDelta) Pct() float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return 100 * (float64(d.New)/float64(d.Old) - 1)
+}
+
+// cycleFields are the row fields that carry absolute cycle counts in the
+// fpint-bench/v1 row types. Rows appear in both spellings: typed rows
+// without JSON tags marshal with exported-field capitalization, tagged rows
+// in lowerCamel.
+var cycleFields = []string{"baseCycles", "basicCycles", "advCycles"}
+
+// rowField reads a row field by its lowerCamel name, falling back to the
+// UpperCamel spelling untagged structs marshal with.
+func rowField(row map[string]any, name string) (any, bool) {
+	if v, ok := row[name]; ok {
+		return v, true
+	}
+	v, ok := row[strings.ToUpper(name[:1])+name[1:]]
+	return v, ok
+}
+
+// decodeCycles pulls every cycle count out of an encoded report. Rows
+// without cycle fields (partition sizes, overheads, static tables) are
+// ignored. An unknown schema is an error: silently comparing incompatible
+// layouts would produce confident nonsense.
+func decodeCycles(r io.Reader) (map[CycleKey]int64, error) {
+	var doc struct {
+		Schema      string `json:"schema"`
+		Experiments []struct {
+			Name string          `json:"name"`
+			Rows json.RawMessage `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if doc.Schema != ReportSchema {
+		return nil, fmt.Errorf("schema %q, want %q", doc.Schema, ReportSchema)
+	}
+	out := make(map[CycleKey]int64)
+	for _, exp := range doc.Experiments {
+		// Not every experiment has object rows (the static tables emit
+		// string arrays); those cannot carry cycle counts, skip them.
+		var rows []map[string]any
+		if err := json.Unmarshal(exp.Rows, &rows); err != nil {
+			continue
+		}
+		for _, row := range rows {
+			wlv, ok := rowField(row, "workload")
+			if !ok {
+				continue
+			}
+			wl, ok := wlv.(string)
+			if !ok {
+				continue
+			}
+			for _, f := range cycleFields {
+				if v, ok := rowField(row, f); ok {
+					if n, ok := v.(float64); ok {
+						out[CycleKey{exp.Name, wl, f}] = int64(n)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// LoadBaselineCycles reads an fpint-bench/v1 JSON report and returns every
+// cycle count it carries, keyed by (experiment, workload, field).
+func LoadBaselineCycles(r io.Reader) (map[CycleKey]int64, error) {
+	out, err := decodeCycles(r)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("baseline: report carries no cycle counts")
+	}
+	return out, nil
+}
+
+// ExtractCycles returns the current report's cycle counts in the same keyed
+// form, by round-tripping it through its own JSON encoding — the comparison
+// then sees exactly what a future LoadBaselineCycles would.
+func ExtractCycles(rep *Report) (map[CycleKey]int64, error) {
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCycles(bytes.NewReader(buf))
+}
+
+// CompareCycles diffs the current run against the baseline for every metric
+// present in both, in deterministic order. Metrics only one side knows
+// (new workload, retired experiment) are skipped: the comparison judges
+// performance drift, not report-shape drift.
+func CompareCycles(baseline, current map[CycleKey]int64) []CycleDelta {
+	var out []CycleDelta
+	for k, old := range baseline {
+		if cur, ok := current[k]; ok {
+			out = append(out, CycleDelta{Key: k, Old: old, New: cur})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Field < b.Field
+	})
+	return out
+}
+
+// Regressions filters the deltas to those slower than tolerancePct.
+func Regressions(deltas []CycleDelta, tolerancePct float64) []CycleDelta {
+	var out []CycleDelta
+	for _, d := range deltas {
+		if d.Pct() > tolerancePct {
+			out = append(out, d)
+		}
+	}
+	return out
+}

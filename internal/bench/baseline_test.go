@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBaselineRoundTrip builds a report the way fpibench does, extracts its
+// cycle counts, and re-loads them through the JSON path a checked-in
+// baseline file takes. Both views must agree, and a perturbed copy must
+// show up as exactly one regression.
+func TestBaselineRoundTrip(t *testing.T) {
+	rep := NewReport()
+	rep.Add("fig9_speedups_4way", "§7.1/Fig. 9", []SpeedupRow{
+		{Workload: "compress", BaseCycles: 1000, BasicCycles: 980, AdvCycles: 900},
+		{Workload: "gcc", BaseCycles: 5000, BasicCycles: 4600, AdvCycles: 4000},
+	})
+	// Static tables use untyped string rows; the extractor must skip them.
+	rep.Add("table1_machine_parameters", "§7/Table 1", [][]string{{"Fetch width", "4", "8"}})
+
+	cur, err := ExtractCycles(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur) != 6 {
+		t.Fatalf("extracted %d metrics, want 6: %v", len(cur), cur)
+	}
+	if got := cur[CycleKey{"fig9_speedups_4way", "gcc", "advCycles"}]; got != 4000 {
+		t.Fatalf("gcc advCycles = %d, want 4000", got)
+	}
+
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaselineCycles(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := CompareCycles(base, cur)
+	if len(deltas) != 6 {
+		t.Fatalf("compared %d metrics, want 6", len(deltas))
+	}
+	if reg := Regressions(deltas, 2.0); len(reg) != 0 {
+		t.Fatalf("self-comparison reports regressions: %+v", reg)
+	}
+
+	// A slowdown beyond tolerance is flagged; one within tolerance is not.
+	cur[CycleKey{"fig9_speedups_4way", "compress", "advCycles"}] = 950   // +5.6%
+	cur[CycleKey{"fig9_speedups_4way", "compress", "baseCycles"}] = 1010 // +1.0%
+	reg := Regressions(CompareCycles(base, cur), 2.0)
+	if len(reg) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the advCycles slowdown", reg)
+	}
+	if reg[0].Key.Field != "advCycles" || reg[0].New != 950 {
+		t.Fatalf("wrong regression flagged: %+v", reg[0])
+	}
+}
+
+// TestBaselineRejectsUnknownSchema pins the refusal to compare across
+// incompatible report layouts.
+func TestBaselineRejectsUnknownSchema(t *testing.T) {
+	_, err := LoadBaselineCycles(strings.NewReader(`{"schema":"fpint-bench/v999","experiments":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want schema mismatch", err)
+	}
+}

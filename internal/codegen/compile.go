@@ -285,6 +285,7 @@ func lowerInst(m *minst) (isa.Inst, error) {
 		Op: m.op, Rd: rd, Rs: rs, Rt: rt,
 		Imm: m.imm, FImm: m.fimm, Target: m.target, Sym: m.sym,
 		IsDup: m.isDup, UseImm: m.useImm,
+		SrcLine: int32(m.line), IROp: m.irop,
 	}, nil
 }
 
@@ -320,6 +321,9 @@ func addFrame(f *mfunc, ra regallocStats) {
 		pro = append(pro, minst{op: isa.SD, rd: noReg, rs: r, rt: isa.RegSP, imm: off, target: -1})
 		off += 8
 	}
+	for i := range pro {
+		pro[i].line = f.line
+	}
 	entry := f.blocks[0]
 	entry.insts = append(pro, entry.insts...)
 
@@ -340,6 +344,9 @@ func addFrame(f *mfunc, ra regallocStats) {
 		minst{op: isa.LI, rd: isa.RegK0, rs: noReg, rt: noReg, imm: frame, target: -1},
 		minst{op: isa.ADD, rd: isa.RegSP, rs: isa.RegSP, rt: isa.RegK0, target: -1},
 	)
+	for i := range epi {
+		epi[i].line = f.line
+	}
 	epiBlk := f.blocks[len(f.blocks)-1]
 	epiBlk.insts = append(epi, epiBlk.insts...)
 }

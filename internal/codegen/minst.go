@@ -35,6 +35,11 @@ type minst struct {
 	// useImm marks immediate-form ALU instructions (rt unused, imm is the
 	// second operand).
 	useImm bool
+	// line is the 1-based source line inherited from the IR instruction
+	// this was selected from (0 = synthesized); irop is the numeric ir.Op.
+	// Both flow into isa.Inst as debug provenance.
+	line int
+	irop uint8
 }
 
 // epilogueBlockID is the pseudo-target of return jumps.
@@ -111,6 +116,7 @@ type mblock struct {
 // mfunc is a function in machine IR.
 type mfunc struct {
 	name       string
+	line       int // source line of the function declaration (debug info)
 	blocks     []*mblock
 	nextVirt   [2]int  // next virtual register per class
 	localWords int64   // frame words used by IR local slots

@@ -454,7 +454,7 @@ func rewrite(f *mfunc, class isa.RegClass, res allocResult) (loads, stores int) 
 				}
 				sc := nextScratch
 				nextScratch = s2
-				out = append(out, minst{op: loadOp, rd: sc, rs: isa.RegSP, rt: noReg, imm: slotOff(slot), target: -1})
+				out = append(out, minst{op: loadOp, rd: sc, rs: isa.RegSP, rt: noReg, imm: slotOff(slot), target: -1, line: m.line, irop: m.irop})
 				loads++
 				usedScratch[v] = sc
 				*op.val = sc
@@ -481,7 +481,7 @@ func rewrite(f *mfunc, class isa.RegClass, res allocResult) (loads, stores int) 
 					continue
 				}
 				*op.val = sd
-				defStore = &minst{op: storeOp, rd: noReg, rs: sd, rt: isa.RegSP, imm: slotOff(slot), target: -1}
+				defStore = &minst{op: storeOp, rd: noReg, rs: sd, rt: isa.RegSP, imm: slotOff(slot), target: -1, line: m.line, irop: m.irop}
 			}
 			if dropInst {
 				continue

@@ -120,6 +120,12 @@ type selector struct {
 	// out-copies that FP passing makes unnecessary.
 	fpNeeded  map[ir.VReg]bool
 	intNeeded map[ir.VReg]bool
+
+	// curLine/curIROp are the debug provenance of the IR instruction being
+	// selected; emit stamps them onto every machine instruction so copies,
+	// duplicates, and other expansion glue inherit the site's source line.
+	curLine int
+	curIROp uint8
 }
 
 // maxRegArgs is how many arguments of each class fit in registers; the
@@ -137,6 +143,7 @@ func selectFunc(fn *ir.Func, p *core.Partition, plan *FPArgPlan) (*mfunc, error)
 		fpNeeded:  make(map[ir.VReg]bool),
 		intNeeded: make(map[ir.VReg]bool),
 	}
+	s.mf.line = fn.Line
 	// Frame-local array slots occupy the bottom of the frame.
 	s.mf.slotOff = make([]int64, len(fn.LocalSlots))
 	var off int64
@@ -259,7 +266,13 @@ func (s *selector) fpOf(v ir.VReg) int {
 	return r
 }
 
-func (s *selector) emit(m minst) { s.cur.insts = append(s.cur.insts, m) }
+func (s *selector) emit(m minst) {
+	if m.line == 0 {
+		m.line = s.curLine
+		m.irop = s.curIROp
+	}
+	s.cur.insts = append(s.cur.insts, m)
+}
 
 func (s *selector) emitAll() error {
 	// Create machine blocks mirroring IR blocks, in the same layout order.
@@ -276,8 +289,9 @@ func (s *selector) emitAll() error {
 	epi := &mblock{id: epilogueBlockID}
 	s.mf.blocks = append(s.mf.blocks, epi)
 
-	// Parameter intake in the entry block.
+	// Parameter intake in the entry block, attributed to the declaration.
 	s.cur = blockByID[s.fn.Entry.ID]
+	s.curLine, s.curIROp = s.fn.Line, 0
 	intIdx, fpIdx := 0, 0
 	for i, pv := range s.fn.Params {
 		if s.fn.VRegType(pv) == ir.F64 {
@@ -323,11 +337,12 @@ func (s *selector) emitAll() error {
 
 	// Epilogue body (frame teardown) is synthesized during assembly; here
 	// it only carries the return jump.
-	epi.insts = append(epi.insts, minst{op: isa.JR, rd: noReg, rs: isa.RegRA, rt: noReg, target: -1})
+	epi.insts = append(epi.insts, minst{op: isa.JR, rd: noReg, rs: isa.RegRA, rt: noReg, target: -1, line: s.fn.Line})
 	return nil
 }
 
 func (s *selector) instr(in *ir.Instr, b *ir.Block) error {
+	s.curLine, s.curIROp = in.Line, uint8(in.Op)
 	fpa := s.pi.mainFPa(in)
 	switch in.Op {
 	case ir.OpNop:

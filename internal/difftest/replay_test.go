@@ -1,0 +1,40 @@
+package difftest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReplayCrashers re-runs every persisted reproducer under
+// testdata/crashers/ through the full oracle. Each file is a bug the fuzzer
+// once found and WriteCrasher persisted; replaying them pins the fixes so a
+// regression reopens as a test failure instead of waiting for the fuzzer to
+// rediscover the same seed. The leading //-comment header (seed, original
+// verdict) is ordinary mini-C comment syntax, so files run unmodified.
+func TestReplayCrashers(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "crashers", "*.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no persisted crashers")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = Check(string(data), DefaultOptions())
+			if errors.Is(err, ErrSkip) {
+				t.Skipf("reference step budget exhausted: %v", err)
+			}
+			if err != nil {
+				t.Errorf("crasher reproduces again: %v", err)
+			}
+		})
+	}
+}

@@ -180,6 +180,14 @@ type Instr struct {
 	// ID is a function-unique instruction identifier assigned by
 	// Func.Renumber; the RDG and the partitioner key off it.
 	ID int
+
+	// Line is the 1-based source line this instruction was lowered from
+	// (0 when unknown, e.g. compiler-synthesized glue). Optimization
+	// passes rewrite instructions in place, so the line survives constant
+	// folding, CSE, LICM and friends; passes that synthesize fresh
+	// instructions are expected to copy the line from the instruction
+	// they derive from.
+	Line int
 }
 
 // NumberedString formats the instruction with its ID.
@@ -313,6 +321,10 @@ type Func struct {
 	Params []VReg // parameter virtual registers, in order
 	Blocks []*Block
 	Entry  *Block
+
+	// Line is the 1-based source line of the function declaration;
+	// synthesized frame code (prologue/epilogue) is attributed here.
+	Line int
 
 	// RetType is the function's return type.
 	RetType Type

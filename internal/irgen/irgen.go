@@ -60,6 +60,11 @@ type funcLowerer struct {
 	fn  *ir.Func
 	cur *ir.Block
 
+	// curLine is the 1-based source line of the statement or expression
+	// currently being lowered; emit stamps it onto every instruction so
+	// the debug line table needs no per-site bookkeeping.
+	curLine int
+
 	// vars maps in-scope names to either a virtual register (scalars) or a
 	// local array slot / array base register.
 	scopes []map[string]varBinding
@@ -88,6 +93,8 @@ func irType(t lang.Type) ir.Type {
 func lowerFunc(mod *ir.Module, fd *lang.FuncDecl) (*ir.Func, error) {
 	fl := &funcLowerer{mod: mod, fd: fd}
 	fn := ir.NewFunc(fd.Name, irType(fd.Ret))
+	fn.Line = fd.Pos.Line
+	fl.curLine = fd.Pos.Line
 	fl.fn = fn
 	fn.Entry = fn.NewBlock()
 	fl.cur = fn.Entry
@@ -117,13 +124,13 @@ func (fl *funcLowerer) sealWithReturn() {
 		if b.Terminator() != nil {
 			continue
 		}
-		ret := &ir.Instr{Op: ir.OpRet}
+		ret := &ir.Instr{Op: ir.OpRet, Line: fl.fn.Line}
 		if fl.fn.RetType != ir.Void {
 			z := fl.fn.NewVReg(fl.fn.RetType)
 			if fl.fn.RetType == ir.F64 {
-				b.Append(&ir.Instr{Op: ir.OpConst, Dst: z, IsFloat: true})
+				b.Append(&ir.Instr{Op: ir.OpConst, Dst: z, IsFloat: true, Line: fl.fn.Line})
 			} else {
-				b.Append(&ir.Instr{Op: ir.OpConst, Dst: z})
+				b.Append(&ir.Instr{Op: ir.OpConst, Dst: z, Line: fl.fn.Line})
 			}
 			ret.Args = []ir.VReg{z}
 		}
@@ -149,7 +156,20 @@ func (fl *funcLowerer) lookup(name string) (varBinding, bool) {
 	return varBinding{}, false
 }
 
-func (fl *funcLowerer) emit(in *ir.Instr) *ir.Instr { return fl.cur.Append(in) }
+func (fl *funcLowerer) emit(in *ir.Instr) *ir.Instr {
+	if in.Line == 0 {
+		in.Line = fl.curLine
+	}
+	return fl.cur.Append(in)
+}
+
+// setLine records the source line of the node being lowered. Synthesized
+// nodes (line 0) keep the enclosing construct's line.
+func (fl *funcLowerer) setLine(p lang.Pos) {
+	if p.Line != 0 {
+		fl.curLine = p.Line
+	}
+}
 
 func (fl *funcLowerer) emitConstInt(v int64) ir.VReg {
 	dst := fl.fn.NewVReg(ir.I64)
@@ -175,6 +195,7 @@ func (fl *funcLowerer) jump(to *ir.Block) {
 }
 
 func (fl *funcLowerer) stmt(s lang.Stmt) error {
+	fl.setLine(lang.StmtPos(s))
 	switch st := s.(type) {
 	case *lang.BlockStmt:
 		fl.pushScope()
@@ -394,6 +415,7 @@ func (fl *funcLowerer) addr(x lang.Expr) (addrReg ir.VReg, isFloat bool, inMem b
 }
 
 func (fl *funcLowerer) expr(x lang.Expr) (ir.VReg, error) {
+	fl.setLine(lang.ExprPos(x))
 	switch e := x.(type) {
 	case *lang.IntLit:
 		return fl.emitConstInt(e.Val), nil

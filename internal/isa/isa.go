@@ -271,6 +271,19 @@ type Inst struct {
 	// UseImm marks ALU instructions whose second operand is Imm instead of
 	// Rt (the addi/andi/slti immediate forms and their FPa ",a" variants).
 	UseImm bool
+
+	// SrcLine is the 1-based source line this instruction was compiled
+	// from (0 when unknown, e.g. the start stub or synthesized glue). The
+	// debug line table threads this from the frontend through optimization
+	// and instruction selection so profilers can attribute cycles to
+	// source lines.
+	SrcLine int32
+
+	// IROp records the numeric value of the ir.Op this instruction was
+	// selected from, as raw provenance (this package cannot import ir).
+	// 0 means unknown/synthesized. Report layers that want the mnemonic
+	// convert via ir.Op(inst.IROp).String().
+	IROp uint8
 }
 
 // String disassembles the instruction.

@@ -299,6 +299,62 @@ type IncDecExpr struct {
 	Pos  Pos
 }
 
+// StmtPos returns the source position of a statement node. Synthesized
+// nodes without a recorded position yield the zero Pos.
+func StmtPos(s Stmt) Pos {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return st.Pos
+	case *VarDeclStmt:
+		return st.Pos
+	case *ExprStmt:
+		return st.Pos
+	case *IfStmt:
+		return st.Pos
+	case *WhileStmt:
+		return st.Pos
+	case *DoWhileStmt:
+		return st.Pos
+	case *ForStmt:
+		return st.Pos
+	case *ReturnStmt:
+		return st.Pos
+	case *BreakStmt:
+		return st.Pos
+	case *ContinueStmt:
+		return st.Pos
+	}
+	return Pos{}
+}
+
+// ExprPos returns the source position of an expression node. Synthesized
+// nodes without a recorded position yield the zero Pos.
+func ExprPos(x Expr) Pos {
+	switch e := x.(type) {
+	case *IntLit:
+		return e.Pos
+	case *FloatLit:
+		return e.Pos
+	case *Ident:
+		return e.Pos
+	case *IndexExpr:
+		return e.Pos
+	case *CallExpr:
+		return e.Pos
+	case *UnaryExpr:
+		return e.Pos
+	case *BinaryExpr:
+		return e.Pos
+	case *CondExpr:
+		return e.Pos
+	case *AssignExpr:
+		return e.Pos
+	case *IncDecExpr:
+		return e.Pos
+	}
+	return Pos{}
+}
+
 func (*IntLit) exprNode()     {}
 func (*FloatLit) exprNode()   {}
 func (*Ident) exprNode()      {}

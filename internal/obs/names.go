@@ -1,0 +1,35 @@
+package obs
+
+// Canonical metric names. The functional simulator and the timing model
+// export overlapping vocabularies ("loads" means the same event in both);
+// keeping the shared names here stops the exporters and their consumers
+// from drifting apart one string literal at a time. Names unique to one
+// exporter stay at its AddTo site.
+const (
+	// PrefixSim and PrefixUarch namespace the two exporters' metrics in a
+	// shared registry (e.g. "sim.loads" vs "uarch.loads": dynamic load
+	// instructions counted functionally vs. loads the pipeline executed).
+	PrefixSim   = "sim."
+	PrefixUarch = "uarch."
+
+	// MetricLoads / MetricStores count executed memory operations; both
+	// exporters emit them under their own prefix.
+	MetricLoads  = "loads"
+	MetricStores = "stores"
+
+	// MetricDynamicInstructions is the functional dynamic instruction
+	// count; MetricInstructions the timing model's retired count. A run
+	// that finishes cleanly reports the same value for both.
+	MetricDynamicInstructions = "dynamic_instructions"
+	MetricInstructions        = "instructions"
+
+	// MetricCycles and MetricIssueActiveCycles carry the timing model's
+	// closed cycle ledger: cycles = issue_active_cycles + Σ stall.*.
+	MetricCycles            = "cycles"
+	MetricIssueActiveCycles = "issue_active_cycles"
+
+	// MetricOffloadFraction is the fraction of dynamic instructions the
+	// partitioner moved to the augmented FP subsystem — the paper's
+	// headline per-run number.
+	MetricOffloadFraction = "offload_fraction"
+)

@@ -1,0 +1,40 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteFolded emits the profile in folded-stack format, one line per
+// (function, source line) pair:
+//
+//	func;L<line> <cycles>
+//
+// consumable by standard flamegraph tooling (flamegraph.pl, inferno,
+// speedscope). The mini-C pipeline has no runtime call-stack tracking, so
+// stacks are two frames deep: function, then line. Synthesized code with no
+// source line folds under ;L? and machine fill/drain cycles appear as a
+// single <machine> frame, keeping the flamegraph total equal to the
+// simulator's cycle count. Output is sorted for byte-determinism.
+func WriteFolded(w io.Writer, p *Profile) {
+	type row struct {
+		stack  string
+		cycles int64
+	}
+	rows := make([]row, 0, len(p.Lines))
+	for _, s := range p.Lines {
+		if s.Cycles == 0 {
+			continue
+		}
+		if s.Func == FillDrainFunc {
+			rows = append(rows, row{FillDrainFunc, s.Cycles})
+			continue
+		}
+		rows = append(rows, row{fmt.Sprintf("%s;L%s", s.Func, lineLabel(s.Line)), s.Cycles})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].stack < rows[j].stack })
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s %d\n", r.stack, r.cycles)
+	}
+}

@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof encodes the profile in the pprof profile.proto wire format
+// (gzipped), loadable by `go tool pprof`. The encoder is a minimal
+// hand-rolled protobuf writer — the repo takes no external dependencies —
+// emitting only the subset of the schema pprof requires:
+//
+//	sample_type: [cycles/count, instructions/count]
+//	one sample per (function, source line) bucket, each with one location
+//	whose Line carries function id + source line
+//
+// filename names the profiled source in the function table. Output is
+// deterministic: buckets are emitted in HotLines order and the gzip stream
+// carries no timestamp.
+func WritePprof(w io.Writer, p *Profile, filename string) error {
+	st := newStringTable()
+	var prof pbuf
+
+	// sample_type = [{cycles, count}, {instructions, count}]
+	for _, name := range []string{"cycles", "instructions"} {
+		var vt pbuf
+		vt.varintField(1, uint64(st.index(name)))
+		vt.varintField(2, uint64(st.index("count")))
+		prof.bytesField(1, vt.b)
+	}
+
+	// Function, location, and sample records per bucket. Function ids are
+	// per distinct function name; location ids are per bucket.
+	funcID := make(map[string]uint64)
+	var funcs pbuf
+	fileIdx := st.index(filename)
+	fid := func(name string) uint64 {
+		if id, ok := funcID[name]; ok {
+			return id
+		}
+		id := uint64(len(funcID) + 1)
+		funcID[name] = id
+		var fn pbuf
+		fn.varintField(1, id)
+		fn.varintField(2, uint64(st.index(name)))
+		fn.varintField(3, uint64(st.index(name)))
+		fn.varintField(4, uint64(fileIdx))
+		funcs.bytesField(5, fn.b)
+		return id
+	}
+
+	var locs, samples pbuf
+	locID := uint64(0)
+	for _, s := range p.HotLines() {
+		if s.Cycles == 0 && s.Retired == 0 {
+			continue
+		}
+		locID++
+		var line pbuf
+		line.varintField(1, fid(s.Func))
+		line.varintField(2, uint64(int64(s.Line)))
+		var loc pbuf
+		loc.varintField(1, locID)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+
+		var locIDs, vals pbuf
+		locIDs.varint(locID)
+		vals.varint(uint64(s.Cycles))
+		vals.varint(uint64(s.Retired))
+		var sample pbuf
+		sample.bytesField(1, locIDs.b) // packed repeated location_id
+		sample.bytesField(2, vals.b)   // packed repeated value
+		samples.bytesField(2, sample.b)
+	}
+
+	prof.b = append(prof.b, samples.b...)
+	prof.b = append(prof.b, locs.b...)
+	prof.b = append(prof.b, funcs.b...)
+	for _, s := range st.strings {
+		var tmp pbuf
+		tmp.stringField(6, s)
+		prof.b = append(prof.b, tmp.b...)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(prof.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// pbuf is a minimal protobuf wire-format builder.
+type pbuf struct {
+	b []byte
+}
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) key(field, wire int) {
+	p.varint(uint64(field)<<3 | uint64(wire))
+}
+
+// varintField writes a varint-typed field (wire type 0).
+func (p *pbuf) varintField(field int, v uint64) {
+	p.key(field, 0)
+	p.varint(v)
+}
+
+// bytesField writes a length-delimited field (wire type 2): nested
+// messages and packed repeated scalars.
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.key(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.bytesField(field, []byte(s))
+}
+
+// stringTable interns strings; index 0 is the mandatory empty string.
+type stringTable struct {
+	strings []string
+	idx     map[string]int
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{strings: []string{""}, idx: map[string]int{"": 0}}
+}
+
+func (st *stringTable) index(s string) int {
+	if i, ok := st.idx[s]; ok {
+		return i
+	}
+	i := len(st.strings)
+	st.strings = append(st.strings, s)
+	st.idx[s] = i
+	return i
+}

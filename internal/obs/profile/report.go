@@ -1,0 +1,161 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fpint/internal/isa"
+	"fpint/internal/uarch"
+)
+
+// WriteHotFuncs renders the top-n functions by cycles as a text table:
+// cycles, share of total, active/stall split, offload fraction, and the
+// dynamic copy/dup overhead counts.
+func WriteHotFuncs(w io.Writer, p *Profile, n int) {
+	fmt.Fprintf(w, "%-16s %12s %7s %12s %12s %8s %10s %10s\n",
+		"FUNC", "CYCLES", "CYC%", "ACTIVE", "STALL", "OFFLOAD", "COPIES", "DUPS")
+	for i, f := range p.HotFuncs() {
+		if n > 0 && i >= n {
+			break
+		}
+		var stall int64
+		for _, v := range f.Stall {
+			stall += v
+		}
+		fmt.Fprintf(w, "%-16s %12d %6.1f%% %12d %12d %7.1f%% %10d %10d\n",
+			f.Name, f.Cycles, pct(f.Cycles, p.TotalCycles), f.Active, stall,
+			100*f.OffloadFraction(), f.RetiredCopies, f.RetiredDups)
+	}
+	fmt.Fprintf(w, "%-16s %12d %6.1f%%\n", "TOTAL", p.TotalCycles, 100.0)
+}
+
+// WriteHotLines renders the top-n source lines by cycles, with the
+// dominant stall cause of each line.
+func WriteHotLines(w io.Writer, p *Profile, n int) {
+	fmt.Fprintf(w, "%-16s %6s %12s %7s %12s %8s %-16s\n",
+		"FUNC", "LINE", "CYCLES", "CYC%", "RETIRED", "OFFLOAD", "TOP-STALL")
+	for i, s := range p.HotLines() {
+		if n > 0 && i >= n {
+			break
+		}
+		if s.Cycles == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %6s %12d %6.1f%% %12d %7.1f%% %-16s\n",
+			s.Func, lineLabel(s.Line), s.Cycles, pct(s.Cycles, p.TotalCycles),
+			s.Retired, 100*s.OffloadFraction(), topStall(s))
+	}
+}
+
+// WriteAnnotated prints the source text with per-line cycle counts,
+// offload fraction, and copy/dup overhead in a gutter, the paper's per-site
+// view of where the partition pays off and what it costs. Lines of src are
+// 1-based, matching the debug line table.
+func WriteAnnotated(w io.Writer, p *Profile, src string) {
+	// Collapse the per-(func,line) buckets to per-line: a line belongs to
+	// exactly one function in this single-file language.
+	type agg struct {
+		cycles, retired, fpa, copies, dups int64
+	}
+	byLine := make(map[int]*agg)
+	var synth agg // line 0: synthesized code without a source line
+	for _, s := range p.Lines {
+		a := &synth
+		if s.Line != 0 {
+			if byLine[s.Line] == nil {
+				byLine[s.Line] = &agg{}
+			}
+			a = byLine[s.Line]
+		}
+		a.cycles += s.Cycles
+		a.retired += s.Retired
+		a.fpa += s.RetiredFPa
+		a.copies += s.RetiredCopies
+		a.dups += s.RetiredDups
+	}
+
+	fmt.Fprintf(w, "%6s %10s %7s %8s %9s | %s\n",
+		"LINE", "CYCLES", "CYC%", "OFFLOAD", "COPY/DUP", "SOURCE")
+	for i, text := range strings.Split(strings.TrimRight(src, "\n"), "\n") {
+		ln := i + 1
+		a := byLine[ln]
+		if a == nil || a.cycles == 0 && a.retired == 0 {
+			fmt.Fprintf(w, "%6d %10s %7s %8s %9s | %s\n", ln, ".", ".", ".", ".", text)
+			continue
+		}
+		off := "."
+		if a.retired > 0 {
+			off = fmt.Sprintf("%.1f%%", 100*float64(a.fpa)/float64(a.retired))
+		}
+		fmt.Fprintf(w, "%6d %10d %6.1f%% %8s %4d/%-4d | %s\n",
+			ln, a.cycles, pct(a.cycles, p.TotalCycles), off, a.copies, a.dups, text)
+	}
+	fmt.Fprintf(w, "\ntotal cycles: %d", p.TotalCycles)
+	if synth.cycles > 0 {
+		fmt.Fprintf(w, " (synthesized/frame code: %d, fill/drain: %d)",
+			synth.cycles-p.FillDrain, p.FillDrain)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteListing renders a line-annotated disassembly: for every machine
+// instruction its PC, source line, executing subsystem (partition), the IR
+// op it was selected from, and the disassembled text. IR op names are
+// resolved by the caller-supplied irOpName to keep this package free of an
+// ir dependency in its core path; pass nil to print raw op numbers.
+func WriteListing(w io.Writer, prog *isa.Program, irOpName func(uint8) string) {
+	entryNames := make(map[int]string)
+	for name, idx := range prog.FuncEntry {
+		entryNames[idx] = name
+	}
+	fmt.Fprintf(w, "%5s %6s %-4s %-8s %s\n", "PC", "LINE", "SUB", "IR-OP", "INSTRUCTION")
+	for pc, in := range prog.Insts {
+		if name, ok := entryNames[pc]; ok {
+			fmt.Fprintf(w, "%s:\n", name)
+		}
+		irop := "-"
+		if in.IROp != 0 {
+			if irOpName != nil {
+				irop = irOpName(in.IROp)
+			} else {
+				irop = fmt.Sprintf("op%d", in.IROp)
+			}
+		}
+		dup := ""
+		if in.IsDup {
+			dup = " [dup]"
+		}
+		fmt.Fprintf(w, "%5d %6s %-4s %-8s %s%s\n",
+			pc, lineLabel(int(in.SrcLine)), isa.ExecSubsystem(in.Op), irop, in.String(), dup)
+	}
+}
+
+func pct(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+func lineLabel(line int) string {
+	if line == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%d", line)
+}
+
+// topStall names the stall cause with the most cycles on the line, or "-"
+// when the line never stalled.
+func topStall(s *LineSample) string {
+	best, bestN := -1, int64(0)
+	for c, n := range s.Stall {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	if best < 0 {
+		return "-"
+	}
+	return uarch.StallCause(best).String()
+}

@@ -556,7 +556,13 @@ func licm(fn *ir.Func) {
 		progress := true
 		for progress {
 			progress = false
-			for blk := range lp.blocks {
+			// Walk blocks in layout order, not map order: the order
+			// candidates are found is the order they land in the preheader,
+			// and compilation must be deterministic.
+			for _, blk := range fn.Blocks {
+				if !lp.blocks[blk] {
+					continue
+				}
 				for i := 0; i < len(blk.Instrs); i++ {
 					in := blk.Instrs[i]
 					if in.Dst == 0 || !isPure(in) || in.Op == ir.OpCopy {

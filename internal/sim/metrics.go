@@ -14,16 +14,16 @@ import (
 // encoders stay deterministic.
 func (s *Stats) AddTo(r *obs.Registry, prefix string) {
 	c := func(name string, v int64) { r.Counter(prefix + name).Add(v) }
-	c("dynamic_instructions", s.Total)
-	c("loads", s.Loads)
-	c("stores", s.Stores)
+	c(obs.MetricDynamicInstructions, s.Total)
+	c(obs.MetricLoads, s.Loads)
+	c(obs.MetricStores, s.Stores)
 	c("branches", s.Branches)
 	c("copies", s.Copies)
 	c("dups", s.Dups)
 	for sub := 0; sub < 3; sub++ {
 		c("subsystem."+isa.Subsystem(sub).String(), s.BySubsys[sub])
 	}
-	r.Gauge(prefix + "offload_fraction").Set(s.OffloadFraction())
+	r.Gauge(prefix + obs.MetricOffloadFraction).Set(s.OffloadFraction())
 
 	ops := make([]isa.Opcode, 0, len(s.ByOp))
 	for op := range s.ByOp {

@@ -136,9 +136,15 @@ type Pipeline struct {
 	intDefs     int
 	fpDefs      int
 
+	// issuedOldestPC/issuedOldestSub identify the oldest instruction issued
+	// in the current cycle, for per-PC cycle attribution.
+	issuedOldestPC  int
+	issuedOldestSub isa.Subsystem
+
 	stats   Stats
 	done    bool
 	journal *Journal
+	profile *CycleProfile
 }
 
 // NewPipeline builds a timing model for cfg.
@@ -222,6 +228,9 @@ func (p *Pipeline) commit() {
 		p.inFlight--
 		p.stats.Instructions++
 		p.journal.record(p.stats.Instructions, e, p.cycle)
+		if p.profile != nil {
+			p.profile.retire(e.ev.PC)
+		}
 		p.head++
 	}
 	// Trim committed prefix when it grows large, keeping entries that may
@@ -256,6 +265,7 @@ func (p *Pipeline) issue() int {
 	fpALU := 0
 	ports := 0
 	intIssued, fpaIssued := 0, 0
+	p.issuedOldestPC = UnknownPC
 
 	// Oldest un-issued store (for load/store ordering).
 	for abs := p.head; abs < p.tail && total < p.cfg.IssueWidth; abs++ {
@@ -329,6 +339,12 @@ func (p *Pipeline) issue() int {
 		e.issued = true
 		e.issueAt = p.cycle
 		e.doneAt = p.cycle + lat
+		if p.issuedOldestPC == UnknownPC {
+			// Oldest-first scan: the first issue of the cycle is the one
+			// retirement is waiting on; active cycles are charged to it.
+			p.issuedOldestPC = e.ev.PC
+			p.issuedOldestSub = e.sub
+		}
 		// Leaving the issue window frees the entry.
 		if e.sub == isa.SubINT || e.isMem {
 			p.intWinCount--

@@ -18,3 +18,18 @@ func Run(prog *isa.Program, cfg Config) (*sim.Result, Stats, error) {
 	st := p.Finish()
 	return res, st, nil
 }
+
+// RunProfiled is Run with per-PC cycle attribution enabled; the returned
+// profile is complete (Σ per-PC cycles == Stats.Cycles).
+func RunProfiled(prog *isa.Program, cfg Config) (*sim.Result, Stats, *CycleProfile, error) {
+	m := sim.New(prog)
+	p := NewPipeline(cfg)
+	prof := p.AttachProfile()
+	m.Trace = p.Feed
+	res, err := m.Run()
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	st := p.Finish()
+	return res, st, prof, nil
+}

@@ -65,10 +65,16 @@ func (p *Pipeline) accountIssue(issued int) {
 	p.stats.IssueSlotCycles[issued]++
 	if issued > 0 {
 		p.stats.IssueActiveCycles++
+		if p.profile != nil {
+			p.profile.chargeActive(p.issuedOldestPC, p.issuedOldestSub)
+		}
 		return
 	}
-	cause, sub := p.classifyStall()
+	cause, sub, pc := p.classifyStall()
 	p.stats.StallBySub[sub][cause]++
+	if p.profile != nil {
+		p.profile.chargeStall(pc, cause, sub)
+	}
 }
 
 // classifyStall decides, for a cycle in which nothing issued, which single
@@ -89,7 +95,14 @@ func (p *Pipeline) accountIssue(issued int) {
 //  5. The commit head has issued but not finished → execution latency:
 //     D-cache miss if it is a missing load, RAW wait otherwise.
 //  6. Anything else is front-end fill/drain latency.
-func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem) {
+//
+// The third result is the PC of the blamed instruction, for per-PC cycle
+// attribution: the stalled consumer (rule 1), the mispredicted branch
+// (rule 2), the instruction whose fetch missed the I-cache (rule 3), the
+// dispatch-stuck instruction (rule 4), or the draining commit head (rule
+// 5). Fill/drain cycles (rule 6) have no responsible instruction and
+// return UnknownPC.
+func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem, int) {
 	// 1. Oldest dispatched-but-unissued instruction the issue stage saw.
 	for abs := p.head; abs < p.dispatch; abs++ {
 		e := p.entry(abs)
@@ -103,27 +116,34 @@ func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem) {
 			dep := p.entry(d)
 			if !dep.issued || dep.doneAt > p.cycle {
 				if dep.issued && dep.isLoad && dep.dmiss {
-					return StallDCache, e.sub
+					return StallDCache, e.sub, e.ev.PC
 				}
-				return StallRAWWait, e.sub
+				return StallRAWWait, e.sub, e.ev.PC
 			}
 		}
 		// Ready but not issued: with zero instructions issued this cycle
 		// no structural resource was taken, so the only remaining blocker
 		// is a load waiting for an older store's address — a memory RAW.
-		return StallRAWWait, e.sub
+		return StallRAWWait, e.sub, e.ev.PC
 	}
 	// 2. Misprediction recovery.
 	if p.fetchBlockedOn >= 0 {
 		sub := isa.SubINT
+		pc := UnknownPC
 		if p.fetchBlockedOn >= p.robBase {
-			sub = p.entry(p.fetchBlockedOn).sub
+			be := p.entry(p.fetchBlockedOn)
+			sub = be.sub
+			pc = be.ev.PC
 		}
-		return StallBpredRecovery, sub
+		return StallBpredRecovery, sub, pc
 	}
 	// 3. I-cache miss in flight.
 	if p.icacheStallUntil > p.cycle {
-		return StallICache, isa.SubINT
+		pc := UnknownPC
+		if p.pendHead < len(p.pending) {
+			pc = p.pending[p.pendHead].PC // the fetch that missed
+		}
+		return StallICache, isa.SubINT, pc
 	}
 	// 4. Dispatch blocked on a structural limit.
 	if p.dispatch < p.tail {
@@ -132,15 +152,15 @@ func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem) {
 			intSide := e.sub == isa.SubINT || e.isMem
 			switch {
 			case p.inFlight >= p.cfg.MaxInFlight:
-				return StallROBFull, e.sub
+				return StallROBFull, e.sub, e.ev.PC
 			case intSide && p.intWinCount >= p.cfg.IntWindow:
-				return StallIntWindowFull, e.sub
+				return StallIntWindowFull, e.sub, e.ev.PC
 			case !intSide && p.fpWinCount >= p.cfg.FpWindow:
-				return StallFpWindowFull, e.sub
+				return StallFpWindowFull, e.sub, e.ev.PC
 			case e.hasDst && e.dstClass == isa.IntReg && p.intDefs >= p.cfg.IntPhysRegs-32:
-				return StallPhysRegs, e.sub
+				return StallPhysRegs, e.sub, e.ev.PC
 			case e.hasDst && e.dstClass == isa.FpReg && p.fpDefs >= p.cfg.FpPhysRegs-32:
-				return StallPhysRegs, e.sub
+				return StallPhysRegs, e.sub, e.ev.PC
 			}
 		}
 	}
@@ -149,13 +169,13 @@ func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem) {
 		e := p.entry(p.head)
 		if e.issued && e.doneAt > p.cycle {
 			if e.isLoad && e.dmiss {
-				return StallDCache, e.sub
+				return StallDCache, e.sub, e.ev.PC
 			}
-			return StallRAWWait, e.sub
+			return StallRAWWait, e.sub, e.ev.PC
 		}
 	}
 	// 6. Pipeline fill/drain.
-	return StallFrontend, isa.SubINT
+	return StallFrontend, isa.SubINT, UnknownPC
 }
 
 // sampleOccupancy records the end-of-cycle occupancy of the issue windows
@@ -207,10 +227,10 @@ func (s *Stats) StallAccountingError() int64 {
 func (s *Stats) AddTo(r *obs.Registry, prefix string) {
 	c := func(name string, v int64) { r.Counter(prefix + name).Add(v) }
 	g := func(name string, v float64) { r.Gauge(prefix + name).Set(v) }
-	c("cycles", s.Cycles)
-	c("instructions", s.Instructions)
-	c("loads", s.Loads)
-	c("stores", s.Stores)
+	c(obs.MetricCycles, s.Cycles)
+	c(obs.MetricInstructions, s.Instructions)
+	c(obs.MetricLoads, s.Loads)
+	c(obs.MetricStores, s.Stores)
 	c("issued.INT", s.IssuedINT)
 	c("issued.FP", s.IssuedFP)
 	c("issued.FPa", s.IssuedFPa)
@@ -219,7 +239,7 @@ func (s *Stats) AddTo(r *obs.Registry, prefix string) {
 	c("fetch_icache_stalls", s.FetchICacheStalls)
 	c("bpred.lookups", s.BpredLookups)
 	c("bpred.mispredicts", s.BpredMispredicts)
-	c("issue_active_cycles", s.IssueActiveCycles)
+	c(obs.MetricIssueActiveCycles, s.IssueActiveCycles)
 	for sub := 0; sub < 3; sub++ {
 		for cause := 0; cause < NumStallCauses; cause++ {
 			if s.StallBySub[sub][cause] == 0 {
