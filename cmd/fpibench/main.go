@@ -8,6 +8,10 @@
 //	fpibench -table1 -table2 # static tables
 //	fpibench -json results.json  # machine-readable results ("-" for stdout)
 //	fpibench -baseline BENCH_BASELINE.json  # regression check against a prior -json report
+//	fpibench -faultsweep     # per-scheme fault-sensitivity sweep (both configs)
+//
+// Exit codes: 0 success, 1 usage error, 2 input error (e.g. an unreadable
+// baseline file), 3 an experiment failed or a cycle regression was found.
 package main
 
 import (
@@ -17,10 +21,20 @@ import (
 	"os"
 
 	"fpint/internal/bench"
+	"fpint/internal/faultinject"
+	"fpint/internal/fperr"
 	"fpint/internal/uarch"
 )
 
 func main() {
+	err := fpibenchMain()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpibench: %v\n", err)
+	}
+	os.Exit(fperr.ExitCode(err))
+}
+
+func fpibenchMain() error {
 	var (
 		table1    = flag.Bool("table1", false, "print Table 1 (machine parameters)")
 		table2    = flag.Bool("table2", false, "print Table 2 (benchmark programs)")
@@ -35,9 +49,15 @@ func main() {
 		jsonOut   = flag.String("json", "", "also write the selected experiments as JSON to the given file (\"-\" for stdout, suppressing the tables)")
 		baseline  = flag.String("baseline", "", "compare cycle counts against a prior -json report and exit non-zero on regressions")
 		tolerance = flag.Float64("regress-tolerance", 2.0, "with -baseline: maximum tolerated cycle increase in percent")
+		faultsw   = flag.Bool("faultsweep", false, "per-scheme fault-sensitivity sweep on both machine configurations")
+		faultRate = flag.Float64("fault-rate", 0.001, "with -faultsweep: per-instruction fault probability")
+		faultSeed = flag.Int64("fault-seed", 1, "with -faultsweep: fault plan seed")
 	)
 	flag.Parse()
-	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance)
+	if *faultRate <= 0 || *faultRate > 1 {
+		return fperr.New(fperr.ClassUsage, "-fault-rate %g outside (0,1]", *faultRate)
+	}
+	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance || *faultsw)
 	if *baseline != "" && all {
 		// Baseline mode defaults to exactly the cycle-bearing experiments.
 		all, *fig9, *fig10, *fpprogs = false, true, true, true
@@ -47,13 +67,16 @@ func main() {
 	if *jsonOut != "" || *baseline != "" {
 		c.rep = bench.NewReport()
 	}
+	var runErr error
 	run := func(name string, f func(*ctx) error) {
+		if runErr != nil {
+			return
+		}
 		if !c.quiet {
 			fmt.Printf("\n================ %s ================\n", name)
 		}
 		if err := f(c); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			runErr = fperr.Wrapf(fperr.ClassInternal, err, "%s", name)
 		}
 	}
 
@@ -87,19 +110,51 @@ func main() {
 	if all || *fpprogs {
 		run("Floating-point programs (§7.5)", printFpProgs)
 	}
+	if all || *faultsw {
+		fc := faultinject.Config{Seed: *faultSeed, Kind: faultinject.KindAny, Rate: *faultRate}
+		run("Fault sensitivity (robustness sweep)", func(c *ctx) error {
+			return printFaultSweep(c, fc)
+		})
+	}
+	if runErr != nil {
+		return runErr
+	}
 
 	if c.rep != nil && *jsonOut != "" {
 		if err := writeTo(*jsonOut, c.rep.WriteJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "fpibench: %v\n", err)
-			os.Exit(1)
+			return fperr.Wrap(fperr.ClassInput, err)
 		}
 	}
 	if *baseline != "" {
 		if err := compareBaseline(c.rep, *baseline, *tolerance); err != nil {
-			fmt.Fprintf(os.Stderr, "fpibench: %v\n", err)
-			os.Exit(1)
+			return fperr.Wrap(fperr.ClassInternal, err)
 		}
 	}
+	return nil
+}
+
+// printFaultSweep reports the per-scheme fault-sensitivity sweep: cycles
+// lost to detection and recovery, per workload, scheme, and configuration.
+func printFaultSweep(c *ctx, fc faultinject.Config) error {
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		rows, err := c.s.FaultSensitivity(bench.IntWorkloads(), cfg, fc)
+		if err != nil {
+			return err
+		}
+		c.record("fault_sensitivity_"+cfg.Name, "robustness", rows)
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{r.Workload, r.Scheme, r.Config,
+				fmt.Sprintf("%d", r.Faults),
+				fmt.Sprintf("%d", r.RecoveryCycles),
+				fmt.Sprintf("%d", r.CleanCycles),
+				fmt.Sprintf("%d", r.FaultCycles),
+				fmt.Sprintf("%+5.2f%%", r.SlowdownPct)})
+		}
+		c.table([]string{"Benchmark", "Scheme", "Config", "Faults", "Recovery cyc", "Clean cyc", "Fault cyc", "Slowdown"}, out)
+	}
+	c.note("\nEvery injected run is checked to produce the reference output with a closed\nstall ledger: faults cost recovery cycles, never correctness (seed=%d rate=%g).", fc.Seed, fc.Rate)
+	return nil
 }
 
 // compareBaseline diffs the current report's cycle counts against a prior

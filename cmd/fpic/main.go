@@ -7,6 +7,14 @@
 //	fpic -example          # compile the paper's Figure 3 gcc fragment
 //	fpic -example -explain # per-component benefit/overhead/profit decisions
 //	fpic -example -json -  # audit trail + pass log as JSON
+//
+// The compiler never crashes on a partitioner failure: every partition is
+// checked by the static verifier, and a scheme that fails verification (or
+// panics) degrades down the ladder — advanced → basic → conventional — with
+// the fallback recorded in the audit trail and the -json document.
+//
+// Exit codes: 0 success, 1 usage error, 2 input error, 3 internal error,
+// 4 compiled successfully but with a degraded (fallen-back) scheme.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
 	"fpint/internal/core"
+	"fpint/internal/fperr"
 	"fpint/internal/ir"
 	"fpint/internal/obs"
 	"fpint/internal/obs/profile"
@@ -45,6 +54,14 @@ int main() {
 `
 
 func main() {
+	err := fpicMain()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
+	}
+	os.Exit(fperr.ExitCode(err))
+}
+
+func fpicMain() error {
 	var (
 		schemeName = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
 		dumpIR     = flag.Bool("dump-ir", false, "print the optimized IR")
@@ -70,19 +87,16 @@ func main() {
 	case *workload != "":
 		w := bench.Lookup(*workload)
 		if w == nil {
-			fmt.Fprintf(os.Stderr, "fpic: unknown workload %q\n", *workload)
-			os.Exit(1)
+			return fperr.New(fperr.ClassUsage, "unknown workload %q", *workload)
 		}
 		src = w.Src
 	default:
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: fpic [flags] file.c  (or -example / -workload NAME)")
-			os.Exit(2)
+			return fperr.New(fperr.ClassUsage, "usage: fpic [flags] file.c  (or -example / -workload NAME)")
 		}
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
-			os.Exit(1)
+			return fperr.Wrap(fperr.ClassInput, err)
 		}
 		src = string(data)
 	}
@@ -98,8 +112,7 @@ func main() {
 	case "balanced":
 		scheme = codegen.SchemeBalanced
 	default:
-		fmt.Fprintf(os.Stderr, "fpic: unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+		return fperr.New(fperr.ClassUsage, "unknown scheme %q", *schemeName)
 	}
 
 	quiet := *jsonOut == "-"
@@ -110,8 +123,7 @@ func main() {
 
 	mod, prof, err := codegen.FrontendPipelineObserved(src, plog)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
-		os.Exit(1)
+		return fperr.Wrap(fperr.ClassInput, err)
 	}
 	if *dumpIR {
 		fmt.Println("==== optimized IR ====")
@@ -166,11 +178,14 @@ func main() {
 		}
 	}
 
-	res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof,
+	res, err := codegen.CompileWithFallback(mod, codegen.Options{Scheme: scheme, Profile: prof,
 		Cost: core.CostParams{OCopy: *ocopy, ODupl: *odupl}, PassLog: plog})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+	if res.Fallback != nil {
+		fmt.Fprintf(os.Stderr, "fpic: warning: %s scheme failed, degraded to %s\n",
+			res.Fallback.Requested, res.Fallback.Used)
 	}
 	if *lines && !quiet {
 		fmt.Println("==== line-annotated disassembly ====")
@@ -190,12 +205,11 @@ func main() {
 		if err := writeTo(*jsonOut, func(w io.Writer) error {
 			return writeCompileJSON(w, scheme.String(), mod.Funcs, res, plog)
 		}); err != nil {
-			fmt.Fprintf(os.Stderr, "fpic: %v\n", err)
-			os.Exit(1)
+			return fperr.Wrap(fperr.ClassInput, err)
 		}
 	}
 	if quiet {
-		return
+		return res.DegradedError()
 	}
 	if *asm {
 		fmt.Println("==== assembly ====")
@@ -207,14 +221,17 @@ func main() {
 		fmt.Printf(";   %-24s %4d insts, %d spill slots (%d reloads, %d stores)\n",
 			name, st.StaticInsts, st.SpillSlots, st.SpillLoads, st.SpillStores)
 	}
+	return res.DegradedError()
 }
 
 // compileDoc is the -json document: the scheme, each function's code-size
-// and spill stats plus its partition audit trail, and the pass log.
+// and spill stats plus its partition audit trail, the pass log, and the
+// degradation-ladder fallback record when the requested scheme failed.
 type compileDoc struct {
-	Scheme string                `json:"scheme"`
-	Funcs  map[string]*compileFn `json:"funcs"`
-	Passes []obs.PassRecord      `json:"passes,omitempty"`
+	Scheme   string                `json:"scheme"`
+	Fallback *codegen.Fallback     `json:"fallback,omitempty"`
+	Funcs    map[string]*compileFn `json:"funcs"`
+	Passes   []obs.PassRecord      `json:"passes,omitempty"`
 }
 
 type compileFn struct {
@@ -226,7 +243,7 @@ type compileFn struct {
 }
 
 func writeCompileJSON(w io.Writer, scheme string, fns []*ir.Func, res *codegen.Result, plog *obs.PassLog) error {
-	doc := compileDoc{Scheme: scheme, Funcs: make(map[string]*compileFn)}
+	doc := compileDoc{Scheme: scheme, Fallback: res.Fallback, Funcs: make(map[string]*compileFn)}
 	for _, fn := range fns {
 		cf := &compileFn{}
 		if st := res.Stats[fn.Name]; st != nil {

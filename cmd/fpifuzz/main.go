@@ -13,6 +13,14 @@
 // -inject plants a known partitioner bug (a component assignment flipped
 // into FPa without its mandated copy) to demonstrate end-to-end that the
 // oracle catches miscompiles and the reducer shrinks them.
+//
+// -faults additionally runs every timed scheme case under seeded
+// transient-fault injection (rate -fault-rate) and asserts that each
+// detected-and-recovered run still produces architecturally correct output
+// with a closed stall ledger and cycle profile.
+//
+// Exit codes: 0 clean sweep, 1 usage error, 2 input error, 3 the sweep
+// found failures (an internal semantics bug).
 package main
 
 import (
@@ -22,19 +30,31 @@ import (
 	"strings"
 
 	"fpint/internal/difftest"
+	"fpint/internal/faultinject"
+	"fpint/internal/fperr"
 )
 
 func main() {
+	err := fpifuzzMain()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpifuzz: %v\n", err)
+	}
+	os.Exit(fperr.ExitCode(err))
+}
+
+func fpifuzzMain() error {
 	var (
-		n       = flag.Int("n", 100, "number of programs to generate and check")
-		seed    = flag.Int64("seed", 1, "first seed; program i uses seed+i")
-		stmts   = flag.Int("stmts", 0, "statement budget per program (0 = default)")
-		traps   = flag.Bool("traps", false, "allow unguarded division (programs may trap; engines must agree)")
-		timing  = flag.Bool("timing", true, "also drive the cycle-level model on 4-way and 8-way configs")
-		reduce  = flag.Bool("reduce", true, "reduce failures to minimal reproducers")
-		out     = flag.String("out", "testdata/crashers", "directory for reproducer files")
-		inject  = flag.Bool("inject", false, "plant a partitioner bug (flipped component assignment) to demo the oracle")
-		verbose = flag.Bool("v", false, "log every failure in full")
+		n         = flag.Int("n", 100, "number of programs to generate and check")
+		seed      = flag.Int64("seed", 1, "first seed; program i uses seed+i")
+		stmts     = flag.Int("stmts", 0, "statement budget per program (0 = default)")
+		traps     = flag.Bool("traps", false, "allow unguarded division (programs may trap; engines must agree)")
+		timing    = flag.Bool("timing", true, "also drive the cycle-level model on 4-way and 8-way configs")
+		reduce    = flag.Bool("reduce", true, "reduce failures to minimal reproducers")
+		out       = flag.String("out", "testdata/crashers", "directory for reproducer files")
+		inject    = flag.Bool("inject", false, "plant a partitioner bug (flipped component assignment) to demo the oracle")
+		faults    = flag.Bool("faults", false, "run timed cases under seeded transient-fault injection (requires -timing)")
+		faultRate = flag.Float64("fault-rate", 0.002, "with -faults: per-instruction fault probability")
+		verbose   = flag.Bool("v", false, "log every failure in full")
 	)
 	flag.Parse()
 
@@ -48,6 +68,15 @@ func main() {
 	o.Timing = *timing
 	if *inject {
 		o.PartitionHook = difftest.InjectFlip
+	}
+	if *faults {
+		if !*timing {
+			return fperr.New(fperr.ClassUsage, "-faults requires -timing")
+		}
+		if *faultRate <= 0 || *faultRate > 1 {
+			return fperr.New(fperr.ClassUsage, "-fault-rate %g outside (0,1]", *faultRate)
+		}
+		o.Faults = &faultinject.Config{Seed: *seed, Kind: faultinject.KindAny, Rate: *faultRate}
 	}
 
 	res := difftest.Sweep(*seed, *n, gcfg, o, *reduce)
@@ -74,8 +103,9 @@ func main() {
 		fmt.Printf("    reproducer: %s\n", path)
 	}
 	if len(res.Failures) > 0 {
-		os.Exit(1)
+		return fperr.New(fperr.ClassInternal, "%d of %d programs failed the oracle", len(res.Failures), res.Ran)
 	}
+	return nil
 }
 
 func indent(s string) string {

@@ -12,6 +12,16 @@
 //	fpisim -annotate file.c                # source with per-line cycles
 //	fpisim -folded out.folded file.c       # flamegraph folded stacks
 //	fpisim -pprof out.pb.gz file.c         # pprof protobuf profile
+//	fpisim -inject-fault seed=1,kind=any,rate=0.001 file.c  # fault injection
+//
+// Fault injection (-inject-fault, implies -timing) drives the seeded
+// transient-fault model of internal/faultinject: same seed, same program ⇒
+// byte-identical fault trace (printable with -fault-trace). Faults cost
+// recovery cycles, never correctness — the architectural output is computed
+// by the functional simulator and is unaffected by timing-model faults.
+//
+// Exit codes: 0 success, 1 usage error, 2 input error, 3 internal error,
+// 4 ran successfully but with a degraded (fallen-back) compile scheme.
 package main
 
 import (
@@ -19,9 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
+	"fpint/internal/faultinject"
+	"fpint/internal/fperr"
 	"fpint/internal/obs"
 	"fpint/internal/obs/profile"
 	"fpint/internal/sim"
@@ -29,6 +42,14 @@ import (
 )
 
 func main() {
+	err := fpisimMain()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
+	}
+	os.Exit(fperr.ExitCode(err))
+}
+
+func fpisimMain() error {
 	var (
 		schemeName = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
 		timing     = flag.Bool("timing", false, "run the cycle-level timing model")
@@ -44,6 +65,8 @@ func main() {
 		annotate   = flag.Bool("annotate", false, "print the source annotated with per-line cycles, offload fraction, and copy/dup overhead (implies -timing)")
 		foldedOut  = flag.String("folded", "", "write folded-stack cycle attribution for flamegraph tooling to the given file (\"-\" for stdout; implies -timing)")
 		pprofOut   = flag.String("pprof", "", "write a gzipped pprof protobuf profile to the given file (implies -timing)")
+		injectSpec = flag.String("inject-fault", "", "inject transient faults: \"seed=N,kind=K,rate=R\" (implies -timing)")
+		faultTrace = flag.Bool("fault-trace", false, "with -inject-fault: print the deterministic fault trace")
 	)
 	flag.Parse()
 
@@ -51,20 +74,17 @@ func main() {
 	if *workload != "" {
 		w := bench.Lookup(*workload)
 		if w == nil {
-			fmt.Fprintf(os.Stderr, "fpisim: unknown workload %q\n", *workload)
-			os.Exit(1)
+			return fperr.New(fperr.ClassUsage, "unknown workload %q", *workload)
 		}
 		src = w.Src
 		srcName = *workload + ".c"
 	} else {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: fpisim [flags] file.c  (or -workload NAME)")
-			os.Exit(2)
+			return fperr.New(fperr.ClassUsage, "usage: fpisim [flags] file.c  (or -workload NAME)")
 		}
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-			os.Exit(1)
+			return fperr.Wrap(fperr.ClassInput, err)
 		}
 		src = string(data)
 		srcName = flag.Arg(0)
@@ -81,21 +101,32 @@ func main() {
 	}
 	sch, ok := schemes[*schemeName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fpisim: unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+		return fperr.New(fperr.ClassUsage, "unknown scheme %q", *schemeName)
 	}
 
 	opts := codegen.Options{InterprocFPArgs: *interproc}
 
-	if !*timing && !*compare && (*pipetrace > 0 || *traceJSON != "") {
+	var faultCfg *faultinject.Config
+	if *injectSpec != "" {
+		fc, err := faultinject.ParseSpec(*injectSpec)
+		if err != nil {
+			return fperr.Wrap(fperr.ClassUsage, err)
+		}
+		faultCfg = &fc
+	}
+
+	if !*timing && !*compare && faultCfg == nil && (*pipetrace > 0 || *traceJSON != "") {
 		fmt.Fprintln(os.Stderr, "fpisim: -pipetrace/-pipetrace-json require -timing; no trace will be produced")
 	}
 
 	if *compare {
 		var baseCycles int64
 		for _, name := range []string{"none", "basic", "advanced"} {
-			r := runConfig{cfg: cfg, timing: true}
-			cycles, offl := run(src, schemes[name], opts, r)
+			r := runConfig{cfg: cfg, timing: true, faultCfg: faultCfg}
+			cycles, offl, err := run(src, schemes[name], opts, r)
+			if err != nil {
+				return err
+			}
 			if name == "none" {
 				baseCycles = cycles
 				fmt.Printf("%-10s cycles=%-10d offload=%4.1f%%\n", name, cycles, offl*100)
@@ -104,33 +135,36 @@ func main() {
 			fmt.Printf("%-10s cycles=%-10d offload=%4.1f%%  speedup=%+.1f%%\n",
 				name, cycles, offl*100, 100*(float64(baseCycles)/float64(cycles)-1))
 		}
-		return
+		return nil
 	}
 	rc := runConfig{
 		cfg: cfg, timing: *timing, pipetrace: *pipetrace,
 		traceJSON: *traceJSON, jsonOut: *jsonOut, csvOut: *csvOut,
 		profile: *profileOut, annotate: *annotate,
 		foldedOut: *foldedOut, pprofOut: *pprofOut,
-		srcName: srcName,
+		srcName: srcName, faultCfg: faultCfg, faultTrace: *faultTrace,
 	}
-	if rc.wantProfile() {
-		rc.timing = true // attribution needs the cycle-level model
+	if rc.wantProfile() || rc.faultCfg != nil {
+		rc.timing = true // attribution and fault injection need the cycle-level model
 	}
-	run(src, sch, opts, rc)
+	_, _, err := run(src, sch, opts, rc)
+	return err
 }
 
 type runConfig struct {
-	cfg       uarch.Config
-	timing    bool
-	pipetrace int
-	traceJSON string
-	jsonOut   string
-	csvOut    string
-	profile   bool
-	annotate  bool
-	foldedOut string
-	pprofOut  string
-	srcName   string
+	cfg        uarch.Config
+	timing     bool
+	pipetrace  int
+	traceJSON  string
+	jsonOut    string
+	csvOut     string
+	profile    bool
+	annotate   bool
+	foldedOut  string
+	pprofOut   string
+	srcName    string
+	faultCfg   *faultinject.Config
+	faultTrace bool
 }
 
 // wantProfile reports whether any output needs per-PC cycle attribution.
@@ -144,18 +178,22 @@ func (rc *runConfig) quiet() bool {
 	return rc.jsonOut == "-" || rc.csvOut == "-" || rc.foldedOut == "-"
 }
 
-func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (int64, float64) {
+func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (int64, float64, error) {
 	opts.Scheme = sch
-	res, _, err := codegen.CompileSource(src, opts)
+	res, _, err := codegen.CompileSourceWithFallback(src, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-		os.Exit(1)
+		return 0, 0, err
+	}
+	if res.Fallback != nil {
+		fmt.Fprintf(os.Stderr, "fpisim: warning: %s scheme failed, degraded to %s\n",
+			res.Fallback.Requested, res.Fallback.Used)
 	}
 
 	m := sim.New(res.Prog)
 	var p *uarch.Pipeline
 	var journal *uarch.Journal
 	var cycleProf *uarch.CycleProfile
+	var plan *faultinject.Plan
 	if rc.timing {
 		p = uarch.NewPipeline(rc.cfg)
 		limit := rc.pipetrace
@@ -168,12 +206,15 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		if rc.wantProfile() {
 			cycleProf = p.AttachProfile()
 		}
+		if rc.faultCfg != nil {
+			plan = faultinject.NewPlan(*rc.faultCfg)
+			p.AttachFaults(plan)
+		}
 		m.Trace = p.Feed
 	}
 	out, err := m.Run()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-		os.Exit(1)
+		return 0, 0, fperr.Wrap(fperr.ClassInput, err)
 	}
 	var st uarch.Stats
 	if rc.timing {
@@ -182,8 +223,7 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 
 	if journal != nil && rc.traceJSON != "" {
 		if err := writeTo(rc.traceJSON, journal.WriteTrace); err != nil {
-			fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-			os.Exit(1)
+			return 0, 0, fperr.Wrap(fperr.ClassInput, err)
 		}
 	}
 	if cycleProf != nil {
@@ -194,8 +234,7 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 				return nil
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-				os.Exit(1)
+				return 0, 0, fperr.Wrap(fperr.ClassInput, err)
 			}
 		}
 		if rc.pprofOut != "" {
@@ -203,8 +242,7 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 				return profile.WritePprof(w, pr, rc.srcName)
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-				os.Exit(1)
+				return 0, 0, fperr.Wrap(fperr.ClassInput, err)
 			}
 		}
 		if rc.profile && !rc.quiet() {
@@ -227,19 +265,17 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		}
 		if rc.jsonOut != "" {
 			if err := writeTo(rc.jsonOut, reg.WriteJSON); err != nil {
-				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-				os.Exit(1)
+				return 0, 0, fperr.Wrap(fperr.ClassInput, err)
 			}
 		}
 		if rc.csvOut != "" {
 			if err := writeTo(rc.csvOut, reg.WriteCSV); err != nil {
-				fmt.Fprintf(os.Stderr, "fpisim: %v\n", err)
-				os.Exit(1)
+				return 0, 0, fperr.Wrap(fperr.ClassInput, err)
 			}
 		}
 	}
 	if rc.quiet() {
-		return st.Cycles, out.Stats.OffloadFraction()
+		return st.Cycles, out.Stats.OffloadFraction(), res.DegradedError()
 	}
 
 	if !rc.timing {
@@ -247,7 +283,7 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		fmt.Printf("; exit=%d dynamic=%d offload=%.1f%% (INT=%d FP=%d FPa=%d)\n",
 			out.Ret, out.Stats.Total, 100*out.Stats.OffloadFraction(),
 			out.Stats.BySubsys[0], out.Stats.BySubsys[1], out.Stats.BySubsys[2])
-		return 0, out.Stats.OffloadFraction()
+		return 0, out.Stats.OffloadFraction(), res.DegradedError()
 	}
 	if journal != nil && rc.pipetrace > 0 {
 		fmt.Print(journal.String())
@@ -261,7 +297,29 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		float64(st.IntIdleFPaBusy)/float64(max64(st.Cycles, 1)))
 	fmt.Printf(";   issue-active=%d stall=%d (accounting error=%d)\n",
 		st.IssueActiveCycles, st.TotalStallCycles(), st.StallAccountingError())
-	return st.Cycles, out.Stats.OffloadFraction()
+	if plan != nil {
+		printFaultReport(plan, st)
+		if rc.faultTrace {
+			fmt.Print(plan.TraceString())
+		}
+	}
+	return st.Cycles, out.Stats.OffloadFraction(), res.DegradedError()
+}
+
+// printFaultReport summarizes the injected-fault trace per kind.
+func printFaultReport(plan *faultinject.Plan, st uarch.Stats) {
+	sum := plan.Summarize()
+	fmt.Printf(";   faults injected=%d recovery-cycles=%d fetch-stalls=%d (seed=%d rate=%g)\n",
+		sum.Injected, sum.RecoveryCycles, st.FetchFaultStalls,
+		plan.Config().Seed, plan.Config().Rate)
+	kinds := make([]string, 0, len(sum.ByKind))
+	for k := range sum.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf(";     %-14s %d\n", k, sum.ByKind[k])
+	}
 }
 
 // writeTo streams enc to path, with "-" meaning stdout.

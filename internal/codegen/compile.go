@@ -79,6 +79,11 @@ type Result struct {
 	Prog       *isa.Program
 	Partitions map[string]*core.Partition // nil entries under SchemeNone
 	Stats      map[string]*FuncStat
+
+	// Fallback is set by CompileWithFallback when the requested scheme
+	// failed and a simpler rung of the degradation ladder produced this
+	// result; nil for a direct compile.
+	Fallback *Fallback
 }
 
 // Compile lowers an optimized IR module to an executable program, applying

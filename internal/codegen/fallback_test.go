@@ -1,0 +1,241 @@
+package codegen_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/core"
+	"fpint/internal/fperr"
+	"fpint/internal/interp"
+	"fpint/internal/sim"
+)
+
+const ladderSrc = `
+int reg_tick[66];
+int deleted;
+void delete_equiv_reg(int regno) { deleted += regno; }
+int main() {
+	for (int i = 0; i < 66; i++) reg_tick[i] = i - 3;
+	for (int regno = 0; regno < 66; regno++) {
+		if (reg_tick[regno] & 1) {
+			delete_equiv_reg(regno);
+			reg_tick[regno]++;
+		}
+	}
+	return deleted;
+}`
+
+// corruptPartition plants a verifier-detectable partitioner bug: a pinned
+// INT node (a load/store address, call, or return) assigned to FPa.
+func corruptPartition(part *core.Partition) bool {
+	for _, n := range part.G.Nodes {
+		if n.Class == core.ClassPinInt {
+			part.Assign[n.ID] = core.SubFPa
+			return true
+		}
+	}
+	return false
+}
+
+// The degradation-ladder acceptance test: inject a partitioner fault into
+// the advanced scheme, observe that it fails verification, that basic is
+// selected instead, and that the degraded program's output still matches
+// the reference interpreter.
+func TestLadderFallsBackToBasicOnInjectedFault(t *testing.T) {
+	mod, prof, err := codegen.FrontendPipeline(ladderSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	res, err := codegen.CompileWithFallback(mod, codegen.Options{
+		Scheme:  codegen.SchemeAdvanced,
+		Profile: prof,
+		PartitionHook: func(fn string, part *core.Partition) {
+			if part.Scheme == "advanced" && fn == "main" {
+				corrupted = corruptPartition(part) || corrupted
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("ladder crashed instead of degrading: %v", err)
+	}
+	if !corrupted {
+		t.Fatal("fault was never injected; test is vacuous")
+	}
+	if res.Fallback == nil {
+		t.Fatal("corrupt advanced partition compiled without fallback")
+	}
+	if res.Fallback.Requested != codegen.SchemeAdvanced || res.Fallback.Used != codegen.SchemeBasic {
+		t.Fatalf("fallback %s→%s, want advanced→basic", res.Fallback.Requested, res.Fallback.Used)
+	}
+	if len(res.Fallback.Causes) != 1 || !strings.Contains(res.Fallback.Causes[0], "partition verifier") {
+		t.Fatalf("fallback cause does not name the verifier: %v", res.Fallback.Causes)
+	}
+	// The fallback must be visible in the partition audit trail.
+	noted := false
+	for _, p := range res.Partitions {
+		if p != nil && p.Audit != nil {
+			for _, note := range p.Audit.Notes {
+				if strings.Contains(note, "degraded") {
+					noted = true
+				}
+			}
+		}
+	}
+	if !noted {
+		t.Error("fallback not recorded in any partition audit trail")
+	}
+	// Degraded success maps to exit code 4.
+	derr := res.DegradedError()
+	if fperr.ClassOf(derr) != fperr.ClassDegraded || fperr.ExitCode(derr) != 4 {
+		t.Fatalf("DegradedError class=%v exit=%d, want degraded/4", fperr.ClassOf(derr), fperr.ExitCode(derr))
+	}
+	// And the degraded program is still correct: output matches interp.
+	out, err := sim.New(res.Prog).Run()
+	if err != nil {
+		t.Fatalf("degraded program run: %v", err)
+	}
+	if out.Ret != ref.Ret || out.Output != ref.Output {
+		t.Fatalf("degraded program diverged: ret %d vs %d", out.Ret, ref.Ret)
+	}
+}
+
+// A panicking partitioner stage must be recovered and degraded, not crash
+// the toolchain.
+func TestLadderRecoversFromPartitionerPanic(t *testing.T) {
+	mod, prof, err := codegen.FrontendPipeline(ladderSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.CompileWithFallback(mod, codegen.Options{
+		Scheme:  codegen.SchemeAdvanced,
+		Profile: prof,
+		PartitionHook: func(fn string, part *core.Partition) {
+			if part.Scheme == "advanced" {
+				panic("synthetic partitioner bug")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("panic escaped the ladder: %v", err)
+	}
+	if res.Fallback == nil || res.Fallback.Used != codegen.SchemeBasic {
+		t.Fatalf("expected fallback to basic after panic, got %+v", res.Fallback)
+	}
+	if !strings.Contains(strings.Join(res.Fallback.Causes, " "), "panicked") {
+		t.Fatalf("cause does not mention the panic: %v", res.Fallback.Causes)
+	}
+}
+
+// When every partitioning scheme is broken, the ladder lands on
+// conventional INT-only compilation and the program is still correct.
+func TestLadderFallsToConventional(t *testing.T) {
+	mod, prof, err := codegen.FrontendPipeline(ladderSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.CompileWithFallback(mod, codegen.Options{
+		Scheme:  codegen.SchemeAdvanced,
+		Profile: prof,
+		PartitionHook: func(fn string, part *core.Partition) {
+			if fn == "main" {
+				corruptPartition(part) // every scheme's partition is corrupted
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("ladder crashed: %v", err)
+	}
+	if res.Fallback == nil || res.Fallback.Used != codegen.SchemeNone {
+		t.Fatalf("expected fallback to conventional, got %+v", res.Fallback)
+	}
+	if len(res.Fallback.Causes) != 2 {
+		t.Fatalf("expected advanced and basic causes, got %v", res.Fallback.Causes)
+	}
+	out, err := sim.New(res.Prog).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ret != ref.Ret {
+		t.Fatalf("conventional fallback diverged: %d vs %d", out.Ret, ref.Ret)
+	}
+}
+
+// A healthy compile must not degrade, and its DegradedError must be nil
+// (exit code 0).
+func TestLadderNoFallbackWhenHealthy(t *testing.T) {
+	res, _, err := codegen.CompileSourceWithFallback(ladderSrc, codegen.Options{Scheme: codegen.SchemeAdvanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != nil {
+		t.Fatalf("healthy compile degraded: %+v", res.Fallback)
+	}
+	if derr := res.DegradedError(); derr != nil || fperr.ExitCode(derr) != 0 {
+		t.Fatalf("healthy compile reports degradation: %v", derr)
+	}
+}
+
+// Frontend failures are input errors (exit 2), not internal ones.
+func TestLadderFrontendErrorIsInputClass(t *testing.T) {
+	_, _, err := codegen.CompileSourceWithFallback("int main( {", codegen.Options{Scheme: codegen.SchemeAdvanced})
+	if err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if fperr.ClassOf(err) != fperr.ClassInput || fperr.ExitCode(err) != 2 {
+		t.Fatalf("frontend error class=%v exit=%d, want input/2", fperr.ClassOf(err), fperr.ExitCode(err))
+	}
+}
+
+// Every testdata program must pass the static partition verifier under
+// every partitioning scheme: a healthy toolchain never degrades on the
+// checked-in corpus. This is the CI verifier stage.
+func TestVerifierOverTestdata(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range []codegen.Scheme{
+			codegen.SchemeBasic, codegen.SchemeAdvanced, codegen.SchemeBalanced,
+		} {
+			res, _, err := codegen.CompileSourceWithFallback(string(data), codegen.Options{Scheme: scheme})
+			if err != nil {
+				t.Errorf("%s/%v: %v", filepath.Base(file), scheme, err)
+				continue
+			}
+			if res.Fallback != nil {
+				t.Errorf("%s/%v: verifier rejected a healthy partition: %v",
+					filepath.Base(file), scheme, res.Fallback.Causes)
+			}
+		}
+	}
+}
+
+// The ladder for each requested scheme always ends at conventional
+// compilation, and the balanced ladder passes through advanced.
+func TestLadderShape(t *testing.T) {
+	for _, scheme := range []codegen.Scheme{
+		codegen.SchemeNone, codegen.SchemeBasic, codegen.SchemeAdvanced, codegen.SchemeBalanced,
+	} {
+		res, _, err := codegen.CompileSourceWithFallback(ladderSrc, codegen.Options{Scheme: scheme})
+		if err != nil || res.Fallback != nil {
+			t.Fatalf("%v: healthy ladder compile failed: err=%v fallback=%+v", scheme, err, res.Fallback)
+		}
+	}
+}

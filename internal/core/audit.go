@@ -31,12 +31,19 @@ type Audit struct {
 	Fn         string
 	Scheme     string
 	Components []ComponentDecision
+	// Notes records exceptional events attached to the trail after the
+	// fact — e.g. that this partition was produced by a degradation-ladder
+	// fallback after a stronger scheme failed verification.
+	Notes []string `json:",omitempty"`
 }
 
 // String renders the audit as an aligned table with one row per component.
 func (a *Audit) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "==== partition audit of %s (%s) ====\n", a.Fn, a.Scheme)
+	for _, note := range a.Notes {
+		fmt.Fprintf(&sb, "  !! %s\n", note)
+	}
 	if len(a.Components) == 0 {
 		sb.WriteString("  (no offload candidates)\n")
 		return sb.String()

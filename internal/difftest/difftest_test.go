@@ -89,7 +89,10 @@ func TestPrinterRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
-		out := Print(prog)
+		out, err := Print(prog)
+		if err != nil {
+			t.Fatalf("%s: print: %v", file, err)
+		}
 		p2, err := lang.Parse(out)
 		if err != nil {
 			t.Fatalf("%s: reparse: %v\n%s", file, err, out)
@@ -97,8 +100,8 @@ func TestPrinterRoundTrip(t *testing.T) {
 		if err := lang.Check(p2); err != nil {
 			t.Fatalf("%s: recheck: %v\n%s", file, err, out)
 		}
-		if again := Print(p2); again != out {
-			t.Fatalf("%s: printer not a fixpoint", file)
+		if again, err := Print(p2); err != nil || again != out {
+			t.Fatalf("%s: printer not a fixpoint (err=%v)", file, err)
 		}
 	}
 }

@@ -51,7 +51,10 @@ func FuzzParser(f *testing.F) {
 		if err := lang.Check(prog); err != nil {
 			return
 		}
-		out := Print(prog)
+		out, err := Print(prog)
+		if err != nil {
+			t.Fatalf("printed source does not print: %v", err)
+		}
 		p2, err := lang.Parse(out)
 		if err != nil {
 			t.Fatalf("printed source does not reparse: %v\n%s", err, out)

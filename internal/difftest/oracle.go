@@ -7,9 +7,11 @@ import (
 
 	"fpint/internal/codegen"
 	"fpint/internal/core"
+	"fpint/internal/faultinject"
 	"fpint/internal/interp"
 	"fpint/internal/ir"
 	"fpint/internal/irgen"
+	"fpint/internal/isa"
 	"fpint/internal/lang"
 	"fpint/internal/opt"
 	"fpint/internal/sim"
@@ -31,7 +33,7 @@ var ErrSkip = errors.New("difftest: reference run exceeded step budget")
 // Mismatch is an oracle failure: two engines disagreed, or a metamorphic
 // invariant broke.
 type Mismatch struct {
-	Stage  string // "compile", "trap", "output", "partition", "audit", "timing", "profit"
+	Stage  string // "compile", "trap", "output", "partition", "audit", "timing", "profit", "fault"
 	Scheme string // scheme case name ("" for cross-scheme checks)
 	Config string // uarch config name ("" outside the timing model)
 	Detail string
@@ -71,6 +73,11 @@ type Options struct {
 	MaxFPaFraction float64
 	// PartitionHook is forwarded to codegen for fault injection.
 	PartitionHook func(fn string, part *core.Partition)
+	// Faults, when non-nil, additionally runs each timed scheme case under
+	// seeded transient-fault injection and asserts that every detected-and-
+	// recovered run still produces architecturally correct output with a
+	// closed stall ledger and cycle profile. Requires Timing.
+	Faults *faultinject.Config
 }
 
 // DefaultOptions enables every check.
@@ -196,6 +203,11 @@ func Check(src string, o Options) error {
 				}
 				if err := checkTiming(c.name, cfg.Name, &st, tout); err != nil {
 					return err
+				}
+				if o.Faults != nil {
+					if err := checkInjected(c.name, cfg, res.Prog, *o.Faults, ref, refKind); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -339,6 +351,44 @@ func checkDynamicStats(c schemeCase, res *codegen.Result, st *sim.Stats) error {
 	if st.Dups > 0 && dupNodes == 0 {
 		return &Mismatch{Stage: "output", Scheme: c.name,
 			Detail: fmt.Sprintf("%d dynamic dups but no duplicated nodes in any partition", st.Dups)}
+	}
+	return nil
+}
+
+// checkInjected drives one fault-injected timing run and asserts the
+// detection/recovery discipline: the architectural output is unchanged (a
+// detected-and-recovered fault costs cycles, never correctness), the stall
+// ledger and per-PC cycle profile still close, and the fault trace agrees
+// with the stats counters.
+func checkInjected(scheme string, cfg uarch.Config, prog *isa.Program, fc faultinject.Config, ref *interp.Result, refKind trap.Kind) error {
+	plan := faultinject.NewPlan(fc)
+	out, st, prof, rerr := uarch.RunInjected(prog, cfg, plan)
+	config := cfg.Name + "+faults"
+	if err := compareRun(scheme, config, ref, refKind, out, rerr); err != nil {
+		return err
+	}
+	if rerr != nil {
+		return nil // trap faithfully reproduced; no timing invariants past it
+	}
+	if err := checkTiming(scheme, config, &st, out); err != nil {
+		return err
+	}
+	if got := prof.TotalAttributed(); got != st.Cycles {
+		return &Mismatch{Stage: "fault", Scheme: scheme, Config: config,
+			Detail: fmt.Sprintf("cycle profile attributes %d of %d cycles under injection", got, st.Cycles)}
+	}
+	trace := plan.Trace()
+	if int64(len(trace)) != st.FaultsInjected {
+		return &Mismatch{Stage: "fault", Scheme: scheme, Config: config,
+			Detail: fmt.Sprintf("trace records %d faults, stats %d", len(trace), st.FaultsInjected)}
+	}
+	var rec int64
+	for _, f := range trace {
+		rec += f.Recovery
+	}
+	if rec != st.FaultRecoveryCycles {
+		return &Mismatch{Stage: "fault", Scheme: scheme, Config: config,
+			Detail: fmt.Sprintf("trace recovery cycles %d, stats %d", rec, st.FaultRecoveryCycles)}
 	}
 	return nil
 }

@@ -15,7 +15,12 @@ import (
 // token pair can re-lex as `--`. Print(Parse(src)) must always re-parse
 // and re-check to a semantically identical program; the reducer depends on
 // this round trip to apply AST-level mutations.
-func Print(p *lang.Program) string {
+//
+// An AST node the printer does not know (a new statement or expression
+// kind the grammar grew without a matching printer case) is returned as an
+// error, not a panic: the fuzz driver and reducer treat it as an
+// unprintable candidate and move on rather than crashing the whole run.
+func Print(p *lang.Program) (string, error) {
 	var pr printer
 	for _, g := range p.Globals {
 		pr.global(g)
@@ -23,12 +28,21 @@ func Print(p *lang.Program) string {
 	for _, f := range p.Funcs {
 		pr.fn(f)
 	}
-	return pr.sb.String()
+	return pr.sb.String(), pr.err
 }
 
 type printer struct {
 	sb     strings.Builder
 	indent int
+	err    error
+}
+
+// fail records the first unprintable node; printing continues so the error
+// message can carry the partial output for debugging.
+func (pr *printer) fail(format string, args ...any) {
+	if pr.err == nil {
+		pr.err = fmt.Errorf(format, args...)
+	}
 }
 
 func (pr *printer) line(format string, args ...any) {
@@ -158,14 +172,14 @@ func (pr *printer) stmt(s lang.Stmt) {
 		if st.Type.IsArray() {
 			pr.line("%s %s[%d];", st.Type.Elem(), st.Name, st.ArrayLen)
 		} else if st.Init != nil {
-			pr.line("%s %s = %s;", st.Type, st.Name, expr(st.Init))
+			pr.line("%s %s = %s;", st.Type, st.Name, pr.expr(st.Init))
 		} else {
 			pr.line("%s %s;", st.Type, st.Name)
 		}
 	case *lang.ExprStmt:
-		pr.line("%s;", expr(st.X))
+		pr.line("%s;", pr.expr(st.X))
 	case *lang.IfStmt:
-		pr.line("if (%s) {", expr(st.Cond))
+		pr.line("if (%s) {", pr.expr(st.Cond))
 		pr.indent++
 		pr.braced(st.Then)
 		pr.indent--
@@ -177,7 +191,7 @@ func (pr *printer) stmt(s lang.Stmt) {
 		}
 		pr.line("}")
 	case *lang.WhileStmt:
-		pr.line("while (%s) {", expr(st.Cond))
+		pr.line("while (%s) {", pr.expr(st.Cond))
 		pr.indent++
 		pr.braced(st.Body)
 		pr.indent--
@@ -187,25 +201,25 @@ func (pr *printer) stmt(s lang.Stmt) {
 		pr.indent++
 		pr.braced(st.Body)
 		pr.indent--
-		pr.line("} while (%s);", expr(st.Cond))
+		pr.line("} while (%s);", pr.expr(st.Cond))
 	case *lang.ForStmt:
 		init := ""
 		switch is := st.Init.(type) {
 		case *lang.VarDeclStmt:
 			if is.Init != nil {
-				init = fmt.Sprintf("%s %s = %s", is.Type, is.Name, expr(is.Init))
+				init = fmt.Sprintf("%s %s = %s", is.Type, is.Name, pr.expr(is.Init))
 			} else {
 				init = fmt.Sprintf("%s %s", is.Type, is.Name)
 			}
 		case *lang.ExprStmt:
-			init = expr(is.X)
+			init = pr.expr(is.X)
 		}
 		cond, post := "", ""
 		if st.Cond != nil {
-			cond = expr(st.Cond)
+			cond = pr.expr(st.Cond)
 		}
 		if st.Post != nil {
-			post = expr(st.Post)
+			post = pr.expr(st.Post)
 		}
 		pr.line("for (%s; %s; %s) {", init, cond, post)
 		pr.indent++
@@ -214,7 +228,7 @@ func (pr *printer) stmt(s lang.Stmt) {
 		pr.line("}")
 	case *lang.ReturnStmt:
 		if st.X != nil {
-			pr.line("return %s;", expr(st.X))
+			pr.line("return %s;", pr.expr(st.X))
 		} else {
 			pr.line("return;")
 		}
@@ -223,7 +237,7 @@ func (pr *printer) stmt(s lang.Stmt) {
 	case *lang.ContinueStmt:
 		pr.line("continue;")
 	default:
-		panic(fmt.Sprintf("difftest: unknown stmt %T", s))
+		pr.fail("difftest: unknown stmt %T", s)
 	}
 }
 
@@ -231,7 +245,7 @@ var unarySpelling = map[lang.UnaryOp]string{
 	lang.UnNeg: "-", lang.UnNot: "!", lang.UnBitNot: "~",
 }
 
-func expr(e lang.Expr) string {
+func (pr *printer) expr(e lang.Expr) string {
 	switch x := e.(type) {
 	case *lang.IntLit:
 		return intExprStr(x.Val)
@@ -240,31 +254,32 @@ func expr(e lang.Expr) string {
 	case *lang.Ident:
 		return x.Name
 	case *lang.IndexExpr:
-		return fmt.Sprintf("%s[%s]", x.Base.Name, expr(x.Idx))
+		return fmt.Sprintf("%s[%s]", x.Base.Name, pr.expr(x.Idx))
 	case *lang.CallExpr:
 		args := make([]string, len(x.Args))
 		for i, a := range x.Args {
-			args[i] = expr(a)
+			args[i] = pr.expr(a)
 		}
 		return fmt.Sprintf("%s(%s)", x.Fn, strings.Join(args, ", "))
 	case *lang.UnaryExpr:
-		return fmt.Sprintf("(%s%s)", unarySpelling[x.Op], expr(x.X))
+		return fmt.Sprintf("(%s%s)", unarySpelling[x.Op], pr.expr(x.X))
 	case *lang.BinaryExpr:
-		return fmt.Sprintf("(%s %s %s)", expr(x.L), x.Op, expr(x.R))
+		return fmt.Sprintf("(%s %s %s)", pr.expr(x.L), x.Op, pr.expr(x.R))
 	case *lang.CondExpr:
-		return fmt.Sprintf("(%s ? %s : %s)", expr(x.Cond), expr(x.Then), expr(x.Else))
+		return fmt.Sprintf("(%s ? %s : %s)", pr.expr(x.Cond), pr.expr(x.Then), pr.expr(x.Else))
 	case *lang.AssignExpr:
 		op := "="
 		if x.OpValid {
 			op = x.Op.String() + "="
 		}
-		return fmt.Sprintf("(%s %s %s)", expr(x.Lhs), op, expr(x.Rhs))
+		return fmt.Sprintf("(%s %s %s)", pr.expr(x.Lhs), op, pr.expr(x.Rhs))
 	case *lang.IncDecExpr:
 		if x.Decr {
-			return expr(x.Lhs) + "--"
+			return pr.expr(x.Lhs) + "--"
 		}
-		return expr(x.Lhs) + "++"
+		return pr.expr(x.Lhs) + "++"
 	default:
-		panic(fmt.Sprintf("difftest: unknown expr %T", e))
+		pr.fail("difftest: unknown expr %T", e)
+		return "0"
 	}
 }

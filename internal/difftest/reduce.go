@@ -21,7 +21,11 @@ func Reduce(src string, fails func(string) bool) (string, bool) {
 		// crash reproducer, so return as-is.
 		return src, false
 	}
-	cur := Print(prog)
+	cur, err := Print(prog)
+	if err != nil {
+		// Unprintable AST: keep the original reproducer rather than crash.
+		return src, false
+	}
 	if !fails(cur) {
 		return src, false
 	}
@@ -84,7 +88,10 @@ func applyMutation(src string, k int) (string, bool) {
 	if !m.applied {
 		return "", false
 	}
-	out := Print(prog)
+	out, perr := Print(prog)
+	if perr != nil {
+		return "", false
+	}
 	p2, err := lang.Parse(out)
 	if err != nil {
 		return "", false

@@ -1,0 +1,135 @@
+// Package fperr defines the toolchain-wide structured error taxonomy and
+// the exit-code contract shared by the fpic, fpisim, fpibench, and fpifuzz
+// commands. Every CLI failure is classified into one of four classes and
+// mapped to a documented process exit code, replacing the historical
+// ad-hoc os.Exit scatter:
+//
+//	0  success
+//	1  usage error        (bad flags or arguments)
+//	2  input error        (unreadable, malformed, or misbehaving input program)
+//	3  internal error     (toolchain bug: invalid partition, codegen panic, ...)
+//	4  degraded-but-succeeded (a compile fell down the degradation ladder
+//	   but still produced a correct program)
+//
+// Errors carry their class through wrapping, so deep layers can classify
+// once (e.g. the partition verifier tags its report as internal) and the
+// CLI rim only calls ExitCode.
+package fperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class partitions failures by who is at fault and how the process exits.
+type Class int
+
+// Error classes, ordered by exit code.
+const (
+	// ClassNone is the zero value: no failure (exit 0). Never attach it to
+	// a real error.
+	ClassNone Class = iota
+	// ClassUsage: the command line itself is wrong (exit 1).
+	ClassUsage
+	// ClassInput: the input program is unreadable, malformed, or trapped at
+	// run time (exit 2).
+	ClassInput
+	// ClassInternal: the toolchain itself misbehaved — a partitioner emitted
+	// an invalid assignment, a backend panicked, an invariant broke (exit 3).
+	ClassInternal
+	// ClassDegraded: compilation succeeded only after falling down the
+	// degradation ladder (exit 4). The output is correct; the class exists
+	// so scripts can detect silent scheme downgrades.
+	ClassDegraded
+)
+
+var classNames = [...]string{
+	ClassNone:     "none",
+	ClassUsage:    "usage",
+	ClassInput:    "input",
+	ClassInternal: "internal",
+	ClassDegraded: "degraded",
+}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) >= 0 && int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class-%d", int(c))
+}
+
+// Error is a classified, wrapped error.
+type Error struct {
+	Class Class
+	Err   error
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// New builds a classified error from a format string.
+func New(class Class, format string, args ...any) *Error {
+	return &Error{Class: class, Err: fmt.Errorf(format, args...)}
+}
+
+// Wrap attaches a class to err, preserving the chain. Wrapping nil returns
+// nil; wrapping an already-classified error keeps the innermost (first
+// assigned) class, so rims cannot accidentally launder an internal error
+// into an input error.
+func Wrap(class Class, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ClassOf(err) != ClassNone {
+		return err
+	}
+	return &Error{Class: class, Err: err}
+}
+
+// Wrapf wraps err with a message prefix and a class (same keep-innermost
+// rule as Wrap for pre-classified errors).
+func Wrapf(class Class, err error, format string, args ...any) error {
+	if err == nil {
+		return nil
+	}
+	wrapped := fmt.Errorf(format+": %w", append(args, err)...)
+	if ClassOf(err) != ClassNone {
+		return wrapped
+	}
+	return &Error{Class: class, Err: wrapped}
+}
+
+// ClassOf extracts the class from an error chain; ClassNone for nil or
+// unclassified errors.
+func ClassOf(err error) Class {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Class
+	}
+	return ClassNone
+}
+
+// ExitCode maps an error to the documented process exit code. Unclassified
+// non-nil errors are conservatively treated as internal.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	switch ClassOf(err) {
+	case ClassNone:
+		return 3 // unclassified failure: assume a toolchain bug
+	case ClassUsage:
+		return 1
+	case ClassInput:
+		return 2
+	case ClassInternal:
+		return 3
+	case ClassDegraded:
+		return 4
+	}
+	return 3
+}

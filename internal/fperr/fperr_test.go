@@ -1,0 +1,58 @@
+package fperr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{New(ClassUsage, "bad flag"), 1},
+		{New(ClassInput, "bad program"), 2},
+		{New(ClassInternal, "bug"), 3},
+		{New(ClassDegraded, "fell back"), 4},
+		{errors.New("unclassified"), 3},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestClassSurvivesWrapping(t *testing.T) {
+	inner := New(ClassInternal, "verifier: invalid partition")
+	outer := fmt.Errorf("compiling main: %w", inner)
+	if ClassOf(outer) != ClassInternal {
+		t.Fatalf("class lost through fmt.Errorf wrapping: %v", ClassOf(outer))
+	}
+	if ExitCode(outer) != 3 {
+		t.Fatalf("exit code lost through wrapping: %d", ExitCode(outer))
+	}
+}
+
+func TestWrapKeepsInnermostClass(t *testing.T) {
+	inner := New(ClassInternal, "partition invalid")
+	rewrapped := Wrap(ClassInput, inner)
+	if ClassOf(rewrapped) != ClassInternal {
+		t.Fatalf("Wrap laundered internal into %v", ClassOf(rewrapped))
+	}
+	if Wrap(ClassInput, nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+	w := Wrapf(ClassInput, errors.New("no such file"), "reading %s", "x.c")
+	if ClassOf(w) != ClassInput || w.Error() != "reading x.c: no such file" {
+		t.Fatalf("Wrapf: class=%v msg=%q", ClassOf(w), w.Error())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassDegraded.String() != "degraded" || Class(99).String() != "class-99" {
+		t.Fatal("class names wrong")
+	}
+}

@@ -3,6 +3,7 @@ package uarch
 import (
 	"math"
 
+	"fpint/internal/faultinject"
 	"fpint/internal/isa"
 	"fpint/internal/sim"
 )
@@ -34,6 +35,16 @@ type Stats struct {
 	BpredMispredicts int64
 	ICacheMissRate   float64
 	DCacheMissRate   float64
+
+	// FaultsInjected counts transient faults injected (and detected) by an
+	// attached fault plan; FaultRecoveryCycles is the total latency added to
+	// faulted instructions by the detection/recovery discipline. Zero when
+	// no plan is attached.
+	FaultsInjected      int64
+	FaultRecoveryCycles int64
+	// FetchFaultStalls counts cycles fetch was blocked refilling the front
+	// end after a fault-triggered pipeline flush.
+	FetchFaultStalls int64
 
 	// IssueActiveCycles counts cycles in which at least one instruction
 	// issued. Every other cycle is attributed to exactly one stall cause
@@ -94,6 +105,12 @@ type robEntry struct {
 	misp    bool // conditional branch that the predictor missed
 	dmiss   bool // load that missed the D-cache
 
+	// seq is the dynamic instruction index in the fed trace, stable across
+	// pending-buffer compaction and post-flush refetch; it keys fault-plan
+	// decisions so replayed instances never re-fault.
+	seq       int64
+	faultKind faultinject.Kind // injected fault, if any (KindNone otherwise)
+
 	hasDst   bool
 	dstClass isa.RegClass
 }
@@ -108,9 +125,13 @@ type Pipeline struct {
 
 	cycle int64
 
-	// pending holds trace events not yet fetched.
+	// pending holds trace events not yet fetched, plus the most recent
+	// tail−head consumed events, so a fault-triggered flush can roll
+	// pendHead back and refetch squashed instructions. pendBase is the
+	// dynamic index of pending[0] (events dropped by compaction so far).
 	pending  []sim.Event
 	pendHead int
+	pendBase int64
 
 	// fetchQ holds fetched-but-not-dispatched entries (absolute indices
 	// into rob).
@@ -128,6 +149,12 @@ type Pipeline struct {
 	fetchBlockedOn   int64 // absolute index of unresolved mispredicted branch, -1 none
 	icacheStallUntil int64
 	lastFetchLine    int64
+
+	// Fault state: the attached plan (nil = no injection) and the absolute
+	// index of a flush-faulted instruction the front end is waiting on
+	// (-1 = none), mirroring fetchBlockedOn.
+	faults           *faultinject.Plan
+	recoverBlockedOn int64
 
 	// Occupancy.
 	intWinCount int
@@ -150,13 +177,14 @@ type Pipeline struct {
 // NewPipeline builds a timing model for cfg.
 func NewPipeline(cfg Config) *Pipeline {
 	p := &Pipeline{
-		cfg:            cfg,
-		bpred:          NewGshare(cfg.BpredCounters, cfg.BpredHistory),
-		icache:         NewCache(cfg.ICacheSize, cfg.ICacheWays, cfg.ICacheLine),
-		dcache:         NewCache(cfg.DCacheSize, cfg.DCacheWays, cfg.DCacheLine),
-		rename:         make(map[int16]int64),
-		fetchBlockedOn: -1,
-		lastFetchLine:  -1,
+		cfg:              cfg,
+		bpred:            NewGshare(cfg.BpredCounters, cfg.BpredHistory),
+		icache:           NewCache(cfg.ICacheSize, cfg.ICacheWays, cfg.ICacheLine),
+		dcache:           NewCache(cfg.DCacheSize, cfg.DCacheWays, cfg.DCacheLine),
+		rename:           make(map[int16]int64),
+		fetchBlockedOn:   -1,
+		lastFetchLine:    -1,
+		recoverBlockedOn: -1,
 	}
 	p.stats.IssueSlotCycles = make([]int64, cfg.IssueWidth+1)
 	p.stats.IntWinOcc = make([]int64, cfg.IntWindow+1)
@@ -173,12 +201,22 @@ func (p *Pipeline) Feed(ev sim.Event) {
 		for len(p.pending)-p.pendHead > 8192 {
 			p.step()
 		}
-		// Compact the pending buffer.
-		copy(p.pending, p.pending[p.pendHead:])
-		p.pending = p.pending[:len(p.pending)-p.pendHead]
-		p.pendHead = 0
+		// Compact the pending buffer, retaining the last tail−head consumed
+		// events: those belong to uncommitted instructions a fault flush may
+		// still squash and refetch.
+		drop := p.pendHead - int(p.tail-p.head)
+		if drop > 0 {
+			copy(p.pending, p.pending[drop:])
+			p.pending = p.pending[:len(p.pending)-drop]
+			p.pendHead -= drop
+			p.pendBase += int64(drop)
+		}
 	}
 }
+
+// AttachFaults arms the pipeline with a deterministic transient-fault plan.
+// Attach before feeding events; pass a fresh plan per run.
+func (p *Pipeline) AttachFaults(plan *faultinject.Plan) { p.faults = plan }
 
 // Finish drains the pipeline and returns the final statistics.
 func (p *Pipeline) Finish() Stats {
@@ -265,6 +303,7 @@ func (p *Pipeline) issue() int {
 	fpALU := 0
 	ports := 0
 	intIssued, fpaIssued := 0, 0
+	flushAt := int64(-1) // faulted entry that triggers a pipeline flush
 	p.issuedOldestPC = UnknownPC
 
 	// Oldest un-issued store (for load/store ordering).
@@ -336,6 +375,27 @@ func (p *Pipeline) issue() int {
 			lat = 1
 			p.stats.Stores++
 		}
+		// Transient-fault injection: the plan decides, purely from the
+		// dynamic instruction index, whether this instance faults. Parity
+		// on the result bus detects the fault; the recovery cost lands on
+		// this instruction's latency, and flush-class faults additionally
+		// squash all younger in-flight work (handled after issue below).
+		if p.faults != nil {
+			if kind := p.faults.Decide(e.seq, e.ev.Op, e.hasDst); kind != faultinject.KindNone {
+				rec := p.faults.Recovery(kind, lat)
+				e.faultKind = kind
+				p.faults.Record(faultinject.Fault{
+					Seq: e.seq, PC: e.ev.PC, Op: e.ev.Op, Kind: kind,
+					Cycle: p.cycle, Recovery: rec,
+				})
+				p.stats.FaultsInjected++
+				p.stats.FaultRecoveryCycles += rec
+				lat += rec
+				if kind.Flushes() {
+					flushAt = abs
+				}
+			}
+		}
 		e.issued = true
 		e.issueAt = p.cycle
 		e.doneAt = p.cycle + lat
@@ -373,11 +433,76 @@ func (p *Pipeline) issue() int {
 		if e.isBr && e.misp && p.fetchBlockedOn == abs {
 			// fetch resumes once doneAt passes; handled in fetch().
 		}
+		// Parity flush: squash everything younger than the faulted
+		// instruction and stop issuing — the scan's view of the window is
+		// stale once the tail moves.
+		if flushAt >= 0 {
+			p.squashYounger(flushAt)
+			p.recoverBlockedOn = flushAt
+			break
+		}
 	}
 	if intIssued == 0 && fpaIssued > 0 {
 		p.stats.IntIdleFPaBusy++
 	}
 	return total
+}
+
+// squashYounger implements the fault-recovery pipeline flush: every
+// instruction younger than the faulted one at abs is discarded and will be
+// refetched from the pending buffer once the front end unblocks. Rename and
+// occupancy state are rebuilt from the surviving entries.
+func (p *Pipeline) squashYounger(abs int64) {
+	squash := p.tail - (abs + 1)
+	if squash <= 0 {
+		return
+	}
+	// The squashed entries consumed the most recent `squash` pending
+	// events; compaction keeps at least tail−head consumed events around,
+	// so rolling pendHead back re-exposes exactly those events.
+	p.pendHead -= int(squash)
+	p.rob = p.rob[:abs+1-p.robBase]
+	p.tail = abs + 1
+	if p.dispatch > p.tail {
+		p.dispatch = p.tail
+	}
+	if p.fetchBlockedOn >= p.tail {
+		p.fetchBlockedOn = -1
+	}
+	p.lastFetchLine = -1 // refetch probes the I-cache afresh
+	// Rebuild the rename map from surviving dispatched producers. Mappings
+	// to committed producers are dropped, which is equivalent: a committed
+	// value is ready either way.
+	p.rename = make(map[int16]int64)
+	for a := p.head; a < p.dispatch; a++ {
+		if e := p.entry(a); e.dispatched && e.hasDst {
+			p.rename[e.ev.Dst] = a
+		}
+	}
+	// Rebuild occupancy counters from the surviving window contents.
+	p.intWinCount, p.fpWinCount, p.inFlight = 0, 0, 0
+	p.intDefs, p.fpDefs = 0, 0
+	for a := p.head; a < p.tail; a++ {
+		e := p.entry(a)
+		if !e.dispatched {
+			continue
+		}
+		p.inFlight++
+		if e.hasDst {
+			if e.dstClass == isa.IntReg {
+				p.intDefs++
+			} else {
+				p.fpDefs++
+			}
+		}
+		if !e.issued {
+			if e.sub == isa.SubINT || e.isMem {
+				p.intWinCount++
+			} else {
+				p.fpWinCount++
+			}
+		}
+	}
 }
 
 func (p *Pipeline) dispatchStage() {
@@ -440,6 +565,17 @@ func (p *Pipeline) dispatchStage() {
 }
 
 func (p *Pipeline) fetch() {
+	// Blocked refilling the front end after a fault-recovery flush?
+	if p.recoverBlockedOn >= 0 {
+		if p.recoverBlockedOn >= p.robBase { // otherwise committed: recovered
+			be := p.entry(p.recoverBlockedOn)
+			if be.doneAt > p.cycle {
+				p.stats.FetchFaultStalls++
+				return
+			}
+		}
+		p.recoverBlockedOn = -1
+	}
 	// Blocked on an unresolved mispredicted branch?
 	if p.fetchBlockedOn >= 0 {
 		if p.fetchBlockedOn >= p.robBase { // otherwise committed: resolved
@@ -472,11 +608,13 @@ func (p *Pipeline) fetch() {
 				return // line arrives after the penalty; retry then
 			}
 		}
+		seq := p.pendBase + int64(p.pendHead)
 		p.pendHead++
 
 		abs := p.tail
 		p.rob = append(p.rob, robEntry{
 			ev:         ev,
+			seq:        seq,
 			fetchAt:    p.cycle,
 			dispatchAt: p.cycle + 1,
 			doneAt:     never,

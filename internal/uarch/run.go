@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"fpint/internal/faultinject"
 	"fpint/internal/isa"
 	"fpint/internal/sim"
 )
@@ -25,6 +26,26 @@ func RunProfiled(prog *isa.Program, cfg Config) (*sim.Result, Stats, *CycleProfi
 	m := sim.New(prog)
 	p := NewPipeline(cfg)
 	prof := p.AttachProfile()
+	m.Trace = p.Feed
+	res, err := m.Run()
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	st := p.Finish()
+	return res, st, prof, nil
+}
+
+// RunInjected is RunProfiled with a transient-fault plan armed on the
+// timing model. The functional result is computed by the architectural
+// simulator and is untouched by timing-model faults — the detection/
+// recovery discipline guarantees architecturally correct output; injected
+// faults cost only cycles, visible in the stats, profile, and the plan's
+// trace.
+func RunInjected(prog *isa.Program, cfg Config, plan *faultinject.Plan) (*sim.Result, Stats, *CycleProfile, error) {
+	m := sim.New(prog)
+	p := NewPipeline(cfg)
+	prof := p.AttachProfile()
+	p.AttachFaults(plan)
 	m.Trace = p.Feed
 	res, err := m.Run()
 	if err != nil {

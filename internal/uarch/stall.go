@@ -3,6 +3,7 @@ package uarch
 import (
 	"fmt"
 
+	"fpint/internal/faultinject"
 	"fpint/internal/isa"
 	"fpint/internal/obs"
 )
@@ -38,14 +39,20 @@ const (
 	// StallFrontend: pipeline fill/drain and fetch/decode latency — no
 	// instruction was available to issue for any other reason.
 	StallFrontend
+	// StallFaultRecovery: the machine is recovering from a detected
+	// transient fault — refilling the front end after a parity-triggered
+	// flush, replaying the faulted instruction, or waiting on a
+	// fault-delayed writeback. Nonzero only under fault injection.
+	StallFaultRecovery
 
 	// NumStallCauses is the number of stall causes.
-	NumStallCauses = int(StallFrontend) + 1
+	NumStallCauses = int(StallFaultRecovery) + 1
 )
 
 var stallNames = [NumStallCauses]string{
 	"raw-wait", "dcache", "bpred-recovery", "icache",
 	"rob-full", "int-window-full", "fp-window-full", "phys-regs", "frontend",
+	"fault-recovery",
 }
 
 // String names the stall cause.
@@ -103,6 +110,15 @@ func (p *Pipeline) accountIssue(issued int) {
 // 5). Fill/drain cycles (rule 6) have no responsible instruction and
 // return UnknownPC.
 func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem, int) {
+	// 0. Fault recovery: the front end is squashed behind a parity flush,
+	// waiting for the faulted instruction to finish replaying. Charged to
+	// the faulted instruction.
+	if p.recoverBlockedOn >= 0 && p.recoverBlockedOn >= p.robBase {
+		be := p.entry(p.recoverBlockedOn)
+		if be.issued && be.doneAt > p.cycle {
+			return StallFaultRecovery, be.sub, be.ev.PC
+		}
+	}
 	// 1. Oldest dispatched-but-unissued instruction the issue stage saw.
 	for abs := p.head; abs < p.dispatch; abs++ {
 		e := p.entry(abs)
@@ -115,6 +131,11 @@ func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem, int) {
 			}
 			dep := p.entry(d)
 			if !dep.issued || dep.doneAt > p.cycle {
+				if dep.issued && dep.faultKind != faultinject.KindNone {
+					// Producer is replaying a faulted result (or its
+					// writeback was fault-delayed).
+					return StallFaultRecovery, e.sub, e.ev.PC
+				}
 				if dep.issued && dep.isLoad && dep.dmiss {
 					return StallDCache, e.sub, e.ev.PC
 				}
@@ -168,6 +189,9 @@ func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem, int) {
 	if p.head < p.tail {
 		e := p.entry(p.head)
 		if e.issued && e.doneAt > p.cycle {
+			if e.faultKind != faultinject.KindNone {
+				return StallFaultRecovery, e.sub, e.ev.PC
+			}
 			if e.isLoad && e.dmiss {
 				return StallDCache, e.sub, e.ev.PC
 			}
@@ -237,6 +261,11 @@ func (s *Stats) AddTo(r *obs.Registry, prefix string) {
 	c("int_idle_fpa_busy_cycles", s.IntIdleFPaBusy)
 	c("fetch_mispredict_stalls", s.FetchMispredictStalls)
 	c("fetch_icache_stalls", s.FetchICacheStalls)
+	if s.FaultsInjected > 0 {
+		c("faults.injected", s.FaultsInjected)
+		c("faults.recovery_cycles", s.FaultRecoveryCycles)
+		c("faults.fetch_stalls", s.FetchFaultStalls)
+	}
 	c("bpred.lookups", s.BpredLookups)
 	c("bpred.mispredicts", s.BpredMispredicts)
 	c(obs.MetricIssueActiveCycles, s.IssueActiveCycles)
