@@ -1,0 +1,149 @@
+package fpint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/core"
+	"fpint/internal/interp"
+	"fpint/internal/sim"
+)
+
+// offloadWeight sums the profile-weighted FPa instruction weight over all
+// functions of a compiled program.
+func offloadWeight(res *codegen.Result) float64 {
+	total := 0.0
+	for _, p := range res.Partitions {
+		if p == nil {
+			continue
+		}
+		total += p.ComputeStats().FPaWeight
+	}
+	return total
+}
+
+func unpinCount(res *codegen.Result) int {
+	n := 0
+	for _, p := range res.Partitions {
+		if p == nil || p.Audit == nil {
+			continue
+		}
+		n += len(p.Audit.Unpins)
+	}
+	return n
+}
+
+// TestAnalysisSharpensOffload is the acceptance gate for the
+// analysis-sharpened partitioning: with -analysis=on the static offload
+// (profile-weighted FPa share) must strictly increase on at least three
+// testdata programs under the basic scheme, never decrease anywhere, and
+// the partition verifier must accept every analysis-sharpened partition.
+// Functional behavior must be identical to the reference interpreter.
+func TestAnalysisSharpensOffload(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	improved := 0
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".c")
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, prof, err := codegen.FrontendPipeline(string(data))
+		if err != nil {
+			t.Fatalf("%s: frontend: %v", name, err)
+		}
+		ref, err := interp.New(mod).Run()
+		if err != nil {
+			t.Fatalf("%s: interp: %v", name, err)
+		}
+
+		compile := func(analysis bool) *codegen.Result {
+			res, err := codegen.Compile(mod, codegen.Options{
+				Scheme: codegen.SchemeBasic, Profile: prof, Analysis: analysis,
+			})
+			if err != nil {
+				t.Fatalf("%s: compile(analysis=%v): %v", name, analysis, err)
+			}
+			return res
+		}
+		off := compile(false)
+		on := compile(true)
+
+		// Every analysis-sharpened partition must satisfy the verifier,
+		// including the unpin-justification invariant.
+		for fn, p := range on.Partitions {
+			if err := core.VerifyPartition(p); err != nil {
+				t.Errorf("%s: %s: %v", name, fn, err)
+			}
+		}
+
+		// Functional equivalence under analysis-sharpened partitioning.
+		out, err := sim.New(on.Prog).Run()
+		if err != nil {
+			t.Fatalf("%s: run(analysis=on): %v", name, err)
+		}
+		if out.Ret != ref.Ret || out.Output != ref.Output {
+			t.Errorf("%s: analysis=on ret=%d want %d", name, out.Ret, ref.Ret)
+		}
+
+		wOff, wOn := offloadWeight(off), offloadWeight(on)
+		if wOn < wOff {
+			t.Errorf("%s: analysis decreased offload: %.1f -> %.1f", name, wOff, wOn)
+		}
+		if wOn > wOff {
+			improved++
+		}
+		t.Logf("%s: offload weight %.1f -> %.1f (%d unpins)", name, wOff, wOn, unpinCount(on))
+	}
+	if improved < 3 {
+		t.Errorf("analysis improved basic-scheme offload on %d programs, want >= 3", improved)
+	}
+}
+
+// TestAnalysisAdvancedFunctional cross-checks the advanced scheme with
+// analysis on: identical output and a verifier-clean partition.
+func TestAnalysisAdvancedFunctional(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".c")
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, prof, err := codegen.FrontendPipeline(string(data))
+		if err != nil {
+			t.Fatalf("%s: frontend: %v", name, err)
+		}
+		ref, err := interp.New(mod).Run()
+		if err != nil {
+			t.Fatalf("%s: interp: %v", name, err)
+		}
+		res, err := codegen.Compile(mod, codegen.Options{
+			Scheme: codegen.SchemeAdvanced, Profile: prof, Analysis: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		for fn, p := range res.Partitions {
+			if err := core.VerifyPartition(p); err != nil {
+				t.Errorf("%s: %s: %v", name, fn, err)
+			}
+		}
+		out, err := sim.New(res.Prog).Run()
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		if out.Ret != ref.Ret || out.Output != ref.Output {
+			t.Errorf("%s: ret=%d want %d", name, out.Ret, ref.Ret)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"fpint/internal/analysis"
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
 	"fpint/internal/core"
@@ -63,20 +64,21 @@ func main() {
 
 func fpicMain() error {
 	var (
-		schemeName = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
-		dumpIR     = flag.Bool("dump-ir", false, "print the optimized IR")
-		dumpRDG    = flag.Bool("dump-rdg", false, "print each function's register dependence graph")
-		dumpPart   = flag.Bool("dump-partition", false, "print the partition assignment per RDG node")
-		dumpDot    = flag.Bool("dot", false, "emit the RDG with partition coloring as Graphviz digraphs")
-		asm        = flag.Bool("S", true, "print the generated assembly")
-		example    = flag.Bool("example", false, "compile the built-in Figure 3 example")
-		workload   = flag.String("workload", "", "compile a named built-in workload instead of a file")
-		ocopy      = flag.Float64("ocopy", 4, "copy overhead o_copy (paper: 3-6)")
-		odupl      = flag.Float64("odupl", 2, "duplicate overhead o_dupl (paper: 1.5-3)")
-		lines      = flag.Bool("lines", false, "print a line-annotated disassembly (PC, source line, subsystem, IR op)")
-		explain    = flag.Bool("explain", false, "print the partition-decision audit trail per function")
-		passes     = flag.Bool("passes", false, "print per-pass timing and IR instruction deltas")
-		jsonOut    = flag.String("json", "", "write the audit trail, pass log, and per-function stats as JSON to the given file (\"-\" for stdout, suppressing normal output)")
+		schemeName   = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
+		analysisMode = flag.String("analysis", "off", "consult the alias/value-range analyses to unpin provably safe load/store addresses: on or off")
+		dumpIR       = flag.Bool("dump-ir", false, "print the optimized IR")
+		dumpRDG      = flag.Bool("dump-rdg", false, "print each function's register dependence graph")
+		dumpPart     = flag.Bool("dump-partition", false, "print the partition assignment per RDG node")
+		dumpDot      = flag.Bool("dot", false, "emit the RDG with partition coloring as Graphviz digraphs")
+		asm          = flag.Bool("S", true, "print the generated assembly")
+		example      = flag.Bool("example", false, "compile the built-in Figure 3 example")
+		workload     = flag.String("workload", "", "compile a named built-in workload instead of a file")
+		ocopy        = flag.Float64("ocopy", 4, "copy overhead o_copy (paper: 3-6)")
+		odupl        = flag.Float64("odupl", 2, "duplicate overhead o_dupl (paper: 1.5-3)")
+		lines        = flag.Bool("lines", false, "print a line-annotated disassembly (PC, source line, subsystem, IR op)")
+		explain      = flag.Bool("explain", false, "print the partition-decision audit trail per function")
+		passes       = flag.Bool("passes", false, "print per-pass timing and IR instruction deltas")
+		jsonOut      = flag.String("json", "", "write the audit trail, pass log, and per-function stats as JSON to the given file (\"-\" for stdout, suppressing normal output)")
 	)
 	flag.Parse()
 
@@ -99,6 +101,11 @@ func fpicMain() error {
 			return fperr.Wrap(fperr.ClassInput, err)
 		}
 		src = string(data)
+	}
+
+	useAnalysis, err := analysis.ParseOnOff(*analysisMode)
+	if err != nil {
+		return fperr.Wrap(fperr.ClassUsage, err)
 	}
 
 	var scheme codegen.Scheme
@@ -130,8 +137,18 @@ func fpicMain() error {
 		fmt.Print(mod.String())
 	}
 	if *dumpRDG || *dumpPart || *dumpDot {
+		var facts *analysis.Facts
+		if useAnalysis {
+			facts = analysis.AnalyzeModule(mod)
+		}
 		for _, fn := range mod.Funcs {
-			g := core.BuildGraph(fn, prof)
+			var oracle core.AddrOracle
+			if facts != nil {
+				if ff := facts.Funcs[fn.Name]; ff != nil {
+					oracle = ff
+				}
+			}
+			g := core.BuildGraphWithOracle(fn, prof, oracle)
 			if *dumpRDG {
 				fmt.Print(g.String())
 			}
@@ -179,7 +196,7 @@ func fpicMain() error {
 	}
 
 	res, err := codegen.CompileWithFallback(mod, codegen.Options{Scheme: scheme, Profile: prof,
-		Cost: core.CostParams{OCopy: *ocopy, ODupl: *odupl}, PassLog: plog})
+		Cost: core.CostParams{OCopy: *ocopy, ODupl: *odupl}, PassLog: plog, Analysis: useAnalysis})
 	if err != nil {
 		return err
 	}

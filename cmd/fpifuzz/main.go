@@ -29,6 +29,7 @@ import (
 	"os"
 	"strings"
 
+	"fpint/internal/analysis"
 	"fpint/internal/difftest"
 	"fpint/internal/faultinject"
 	"fpint/internal/fperr"
@@ -44,17 +45,18 @@ func main() {
 
 func fpifuzzMain() error {
 	var (
-		n         = flag.Int("n", 100, "number of programs to generate and check")
-		seed      = flag.Int64("seed", 1, "first seed; program i uses seed+i")
-		stmts     = flag.Int("stmts", 0, "statement budget per program (0 = default)")
-		traps     = flag.Bool("traps", false, "allow unguarded division (programs may trap; engines must agree)")
-		timing    = flag.Bool("timing", true, "also drive the cycle-level model on 4-way and 8-way configs")
-		reduce    = flag.Bool("reduce", true, "reduce failures to minimal reproducers")
-		out       = flag.String("out", "testdata/crashers", "directory for reproducer files")
-		inject    = flag.Bool("inject", false, "plant a partitioner bug (flipped component assignment) to demo the oracle")
-		faults    = flag.Bool("faults", false, "run timed cases under seeded transient-fault injection (requires -timing)")
-		faultRate = flag.Float64("fault-rate", 0.002, "with -faults: per-instruction fault probability")
-		verbose   = flag.Bool("v", false, "log every failure in full")
+		n            = flag.Int("n", 100, "number of programs to generate and check")
+		seed         = flag.Int64("seed", 1, "first seed; program i uses seed+i")
+		analysisMode = flag.String("analysis", "on", "also run the analysis-sharpened basic/advanced scheme cases: on or off")
+		stmts        = flag.Int("stmts", 0, "statement budget per program (0 = default)")
+		traps        = flag.Bool("traps", false, "allow unguarded division (programs may trap; engines must agree)")
+		timing       = flag.Bool("timing", true, "also drive the cycle-level model on 4-way and 8-way configs")
+		reduce       = flag.Bool("reduce", true, "reduce failures to minimal reproducers")
+		out          = flag.String("out", "testdata/crashers", "directory for reproducer files")
+		inject       = flag.Bool("inject", false, "plant a partitioner bug (flipped component assignment) to demo the oracle")
+		faults       = flag.Bool("faults", false, "run timed cases under seeded transient-fault injection (requires -timing)")
+		faultRate    = flag.Float64("fault-rate", 0.002, "with -faults: per-instruction fault probability")
+		verbose      = flag.Bool("v", false, "log every failure in full")
 	)
 	flag.Parse()
 
@@ -66,6 +68,11 @@ func fpifuzzMain() error {
 
 	o := difftest.DefaultOptions()
 	o.Timing = *timing
+	useAnalysis, err := analysis.ParseOnOff(*analysisMode)
+	if err != nil {
+		return fperr.Wrap(fperr.ClassUsage, err)
+	}
+	o.Analysis = useAnalysis
 	if *inject {
 		o.PartitionHook = difftest.InjectFlip
 	}

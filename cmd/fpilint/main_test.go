@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fpilint reports")
+
+func testdataFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	sort.Strings(files)
+	return files
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("..", "..", "testdata", "golden", name)
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: report differs from golden (run with -update after verifying)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// TestLintGoldenText locks the human-readable report over every testdata
+// program to a golden file.
+func TestLintGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lintReport(testdataFiles(t), false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fpilint.txt", buf.Bytes())
+}
+
+// TestLintGoldenJSON locks the SARIF-lite report and verifies it is
+// byte-for-byte deterministic across runs.
+func TestLintGoldenJSON(t *testing.T) {
+	files := testdataFiles(t)
+	var first bytes.Buffer
+	if err := lintReport(files, true, &first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		var again bytes.Buffer
+		if err := lintReport(files, true, &again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("fpilint -json output is not byte-deterministic (run %d differs)", i+2)
+		}
+	}
+	checkGolden(t, "fpilint.json", first.Bytes())
+}
+
+// TestFactsSmoke exercises the facts dump path.
+func TestFactsSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dumpFacts(&buf, filepath.Join("..", "..", "testdata", "sieve.c")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("safe:")) {
+		t.Errorf("expected at least one safe address fact in sieve.c, got:\n%s", buf.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"os"
 	"sort"
 
+	"fpint/internal/analysis"
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
 	"fpint/internal/faultinject"
@@ -51,22 +52,23 @@ func main() {
 
 func fpisimMain() error {
 	var (
-		schemeName = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
-		timing     = flag.Bool("timing", false, "run the cycle-level timing model")
-		configName = flag.String("config", "4way", "machine configuration: 4way or 8way")
-		compare    = flag.Bool("compare", false, "run all three schemes and report speedups")
-		workload   = flag.String("workload", "", "run a named built-in workload instead of a file")
-		pipetrace  = flag.Int("pipetrace", 0, "with -timing: dump the pipeline journal of the first N instructions")
-		traceJSON  = flag.String("pipetrace-json", "", "with -timing: write the pipeline journal as Chrome trace-event JSON to the given file")
-		jsonOut    = flag.String("json", "", "write run metrics as deterministic JSON to the given file (\"-\" for stdout, suppressing normal output)")
-		csvOut     = flag.String("csv", "", "write run metrics as CSV to the given file (\"-\" for stdout, suppressing normal output)")
-		interproc  = flag.Bool("interproc", false, "enable the §6.6 interprocedural FP-argument extension")
-		profileOut = flag.Bool("profile", false, "print hot-function and hot-line cycle-attribution tables (implies -timing)")
-		annotate   = flag.Bool("annotate", false, "print the source annotated with per-line cycles, offload fraction, and copy/dup overhead (implies -timing)")
-		foldedOut  = flag.String("folded", "", "write folded-stack cycle attribution for flamegraph tooling to the given file (\"-\" for stdout; implies -timing)")
-		pprofOut   = flag.String("pprof", "", "write a gzipped pprof protobuf profile to the given file (implies -timing)")
-		injectSpec = flag.String("inject-fault", "", "inject transient faults: \"seed=N,kind=K,rate=R\" (implies -timing)")
-		faultTrace = flag.Bool("fault-trace", false, "with -inject-fault: print the deterministic fault trace")
+		schemeName   = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
+		analysisMode = flag.String("analysis", "off", "consult the alias/value-range analyses to unpin provably safe load/store addresses: on or off")
+		timing       = flag.Bool("timing", false, "run the cycle-level timing model")
+		configName   = flag.String("config", "4way", "machine configuration: 4way or 8way")
+		compare      = flag.Bool("compare", false, "run all three schemes and report speedups")
+		workload     = flag.String("workload", "", "run a named built-in workload instead of a file")
+		pipetrace    = flag.Int("pipetrace", 0, "with -timing: dump the pipeline journal of the first N instructions")
+		traceJSON    = flag.String("pipetrace-json", "", "with -timing: write the pipeline journal as Chrome trace-event JSON to the given file")
+		jsonOut      = flag.String("json", "", "write run metrics as deterministic JSON to the given file (\"-\" for stdout, suppressing normal output)")
+		csvOut       = flag.String("csv", "", "write run metrics as CSV to the given file (\"-\" for stdout, suppressing normal output)")
+		interproc    = flag.Bool("interproc", false, "enable the §6.6 interprocedural FP-argument extension")
+		profileOut   = flag.Bool("profile", false, "print hot-function and hot-line cycle-attribution tables (implies -timing)")
+		annotate     = flag.Bool("annotate", false, "print the source annotated with per-line cycles, offload fraction, and copy/dup overhead (implies -timing)")
+		foldedOut    = flag.String("folded", "", "write folded-stack cycle attribution for flamegraph tooling to the given file (\"-\" for stdout; implies -timing)")
+		pprofOut     = flag.String("pprof", "", "write a gzipped pprof protobuf profile to the given file (implies -timing)")
+		injectSpec   = flag.String("inject-fault", "", "inject transient faults: \"seed=N,kind=K,rate=R\" (implies -timing)")
+		faultTrace   = flag.Bool("fault-trace", false, "with -inject-fault: print the deterministic fault trace")
 	)
 	flag.Parse()
 
@@ -104,7 +106,11 @@ func fpisimMain() error {
 		return fperr.New(fperr.ClassUsage, "unknown scheme %q", *schemeName)
 	}
 
-	opts := codegen.Options{InterprocFPArgs: *interproc}
+	useAnalysis, err := analysis.ParseOnOff(*analysisMode)
+	if err != nil {
+		return fperr.Wrap(fperr.ClassUsage, err)
+	}
+	opts := codegen.Options{InterprocFPArgs: *interproc, Analysis: useAnalysis}
 
 	var faultCfg *faultinject.Config
 	if *injectSpec != "" {
@@ -147,7 +153,7 @@ func fpisimMain() error {
 	if rc.wantProfile() || rc.faultCfg != nil {
 		rc.timing = true // attribution and fault injection need the cycle-level model
 	}
-	_, _, err := run(src, sch, opts, rc)
+	_, _, err = run(src, sch, opts, rc)
 	return err
 }
 

@@ -1,0 +1,78 @@
+// Package analysis is a reusable static-analysis framework over the IR:
+// CFG construction with dominators, an intraprocedural flow-insensitive
+// may-alias/address-taken analysis partitioned by base object, and a
+// lattice-based value-range analysis (constants + intervals with widening).
+//
+// The analyses exist to *justify* compiler decisions, not to change
+// semantics: the partitioner consults them to unpin load/store address
+// nodes whose addresses are provably well-behaved array accesses (see
+// FuncFacts.SafeAddr and core.AddrOracle), and the fpilint driver turns the
+// same facts into diagnostics (dead stores, unreachable blocks, division by
+// zero and out-of-bounds candidates).
+package analysis
+
+import (
+	"sort"
+
+	"fpint/internal/ir"
+)
+
+// CFG is the control-flow view of one function: reachable blocks in
+// reverse postorder, the immediate-dominator tree, and the blocks the
+// entry cannot reach at all.
+type CFG struct {
+	Fn *ir.Func
+
+	// Blocks are the reachable blocks in reverse postorder (entry first).
+	Blocks []*ir.Block
+
+	// Idom maps each reachable block to its immediate dominator; the entry
+	// maps to itself.
+	Idom map[*ir.Block]*ir.Block
+
+	// Unreachable lists blocks the entry cannot reach, in block-ID order.
+	Unreachable []*ir.Block
+
+	rpoIndex map[*ir.Block]int
+}
+
+// BuildCFG computes the CFG of fn, including dominators (iterative
+// Cooper–Harvey–Kennedy over reverse postorder) and the unreachable set.
+func BuildCFG(fn *ir.Func) *CFG {
+	c := &CFG{Fn: fn, Idom: fn.Dominators(), rpoIndex: make(map[*ir.Block]int)}
+	c.Blocks = fn.ReversePostorder()
+	for i, b := range c.Blocks {
+		c.rpoIndex[b] = i
+	}
+	for _, b := range fn.Blocks {
+		if _, ok := c.rpoIndex[b]; !ok {
+			c.Unreachable = append(c.Unreachable, b)
+		}
+	}
+	sort.Slice(c.Unreachable, func(i, j int) bool { return c.Unreachable[i].ID < c.Unreachable[j].ID })
+	return c
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (c *CFG) Reachable(b *ir.Block) bool {
+	_, ok := c.rpoIndex[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (every block dominates itself).
+// Unreachable blocks are dominated by nothing and dominate nothing.
+func (c *CFG) Dominates(a, b *ir.Block) bool {
+	if !c.Reachable(a) || !c.Reachable(b) {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		next := c.Idom[b]
+		if next == b {
+			return false // reached the entry without meeting a
+		}
+		b = next
+	}
+}

@@ -1,0 +1,99 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fpint/internal/analysis"
+	"fpint/internal/ir"
+)
+
+// TestCFGSingleBlock: a function of one block is its own dominator and has
+// no unreachable blocks.
+func TestCFGSingleBlock(t *testing.T) {
+	fn := ir.NewFunc("one", ir.I64)
+	v := fn.NewVReg(ir.I64)
+	b := fn.NewBlock()
+	fn.Entry = b
+	b.Append(&ir.Instr{Op: ir.OpConst, Dst: v, Imm: 1})
+	b.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{v}})
+	fn.RecomputePreds()
+	fn.Renumber()
+
+	cfg := analysis.BuildCFG(fn)
+	if len(cfg.Blocks) != 1 || cfg.Blocks[0] != b {
+		t.Fatalf("blocks = %v", cfg.Blocks)
+	}
+	if len(cfg.Unreachable) != 0 {
+		t.Fatalf("unreachable = %v", cfg.Unreachable)
+	}
+	if cfg.Idom[b] != b || !cfg.Dominates(b, b) {
+		t.Error("entry must dominate itself")
+	}
+}
+
+// TestCFGUnreachableBlocks: a block with no path from the entry lands in
+// Unreachable, is not Reachable, and neither dominates nor is dominated.
+func TestCFGUnreachableBlocks(t *testing.T) {
+	fn := ir.NewFunc("dead", ir.I64)
+	v := fn.NewVReg(ir.I64)
+	b0 := fn.NewBlock()
+	b1 := fn.NewBlock()
+	dead := fn.NewBlock()
+	fn.Entry = b0
+
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: v, Imm: 1})
+	b0.Append(&ir.Instr{Op: ir.OpJmp})
+	b0.Succs = []*ir.Block{b1}
+	b1.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{v}})
+	// dead jumps into the live region but nothing jumps to dead.
+	dead.Append(&ir.Instr{Op: ir.OpJmp})
+	dead.Succs = []*ir.Block{b1}
+	fn.RecomputePreds()
+	fn.Renumber()
+
+	cfg := analysis.BuildCFG(fn)
+	if len(cfg.Unreachable) != 1 || cfg.Unreachable[0] != dead {
+		t.Fatalf("unreachable = %v", cfg.Unreachable)
+	}
+	if cfg.Reachable(dead) {
+		t.Error("dead reported reachable")
+	}
+	if cfg.Dominates(dead, b1) || cfg.Dominates(b0, dead) {
+		t.Error("unreachable block participates in dominance")
+	}
+	if !cfg.Dominates(b0, b1) {
+		t.Error("entry must dominate b1")
+	}
+}
+
+// TestCFGSelfLoop: a block that branches to itself dominates itself and is
+// immediately dominated by its (unique) entry-side predecessor, and the
+// blocks below the loop are dominated by the loop header.
+func TestCFGSelfLoop(t *testing.T) {
+	fn := ir.NewFunc("selfloop", ir.I64)
+	v := fn.NewVReg(ir.I64)
+	b0 := fn.NewBlock()
+	loop := fn.NewBlock()
+	exit := fn.NewBlock()
+	fn.Entry = b0
+
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: v, Imm: 1})
+	b0.Append(&ir.Instr{Op: ir.OpJmp})
+	b0.Succs = []*ir.Block{loop}
+	loop.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{v}})
+	loop.Succs = []*ir.Block{loop, exit}
+	exit.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{v}})
+	fn.RecomputePreds()
+	fn.Renumber()
+
+	cfg := analysis.BuildCFG(fn)
+	if cfg.Idom[loop] != b0 {
+		t.Errorf("idom(loop) = %v, want entry", cfg.Idom[loop])
+	}
+	if !cfg.Dominates(loop, loop) || !cfg.Dominates(loop, exit) || cfg.Dominates(exit, loop) {
+		t.Error("self-loop dominance wrong")
+	}
+	if len(cfg.Blocks) != 3 || len(cfg.Unreachable) != 0 {
+		t.Errorf("blocks %d, unreachable %d", len(cfg.Blocks), len(cfg.Unreachable))
+	}
+}

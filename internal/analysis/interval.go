@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a lattice element of the value-range analysis: the set of
+// int64 values v with Lo <= v <= Hi. math.MinInt64 as Lo means -infinity
+// and math.MaxInt64 as Hi means +infinity (the sentinels coincide with the
+// extreme representable values, which is sound: an interval touching a
+// sentinel simply makes no claim about that bound). Lo > Hi encodes bottom
+// (no value; unreached code).
+type Interval struct {
+	Lo, Hi int64
+}
+
+const (
+	negInf = math.MinInt64
+	posInf = math.MaxInt64
+)
+
+// Top is the full interval (no information).
+func Top() Interval { return Interval{negInf, posInf} }
+
+// Bot is the empty interval (unreached).
+func Bot() Interval { return Interval{posInf, negInf} }
+
+// Const is the singleton interval {c}.
+func Const(c int64) Interval { return Interval{c, c} }
+
+// IsBot reports whether the interval is empty.
+func (i Interval) IsBot() bool { return i.Lo > i.Hi }
+
+// IsTop reports whether the interval carries no information.
+func (i Interval) IsTop() bool { return i.Lo == negInf && i.Hi == posInf }
+
+// IsConst reports whether the interval is a singleton, returning its value.
+func (i Interval) IsConst() (int64, bool) { return i.Lo, i.Lo == i.Hi && i.Lo != negInf }
+
+// Contains reports whether v may be in the interval.
+func (i Interval) Contains(v int64) bool { return !i.IsBot() && i.Lo <= v && v <= i.Hi }
+
+// Finite reports whether both bounds are known.
+func (i Interval) Finite() bool { return !i.IsBot() && i.Lo != negInf && i.Hi != posInf }
+
+// String renders the interval for diagnostics, with inf sentinels.
+func (i Interval) String() string {
+	if i.IsBot() {
+		return "⊥"
+	}
+	lo, hi := "-inf", "+inf"
+	if i.Lo != negInf {
+		lo = fmt.Sprintf("%d", i.Lo)
+	}
+	if i.Hi != posInf {
+		hi = fmt.Sprintf("%d", i.Hi)
+	}
+	return "[" + lo + ".." + hi + "]"
+}
+
+// Join is the lattice join (interval hull).
+func (i Interval) Join(j Interval) Interval {
+	if i.IsBot() {
+		return j
+	}
+	if j.IsBot() {
+		return i
+	}
+	return Interval{minI64(i.Lo, j.Lo), maxI64(i.Hi, j.Hi)}
+}
+
+// Meet is the lattice meet (intersection); may produce bottom.
+func (i Interval) Meet(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	m := Interval{maxI64(i.Lo, j.Lo), minI64(i.Hi, j.Hi)}
+	// Canonicalize: every empty interval must be THE Bot value, or the
+	// fixpoint loop's struct comparisons would see two lattice-equal
+	// bottoms (e.g. [5..2] vs [5..4] from different infeasible-edge
+	// refinements) as a change and oscillate forever.
+	if m.IsBot() {
+		return Bot()
+	}
+	return m
+}
+
+// Widen accelerates convergence: any bound of next that moved past the
+// corresponding bound of i is pushed to infinity.
+func (i Interval) Widen(next Interval) Interval {
+	if i.IsBot() {
+		return next
+	}
+	if next.IsBot() {
+		return i
+	}
+	w := i
+	if next.Lo < i.Lo {
+		w.Lo = negInf
+	}
+	if next.Hi > i.Hi {
+		w.Hi = posInf
+	}
+	return w
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds with saturation at the infinity sentinels: any operand at a
+// sentinel, or any overflow, saturates in the direction of the result.
+func satAdd(a, b int64) int64 {
+	if a == negInf || b == negInf {
+		return negInf
+	}
+	if a == posInf || b == posInf {
+		return posInf
+	}
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		if b > 0 {
+			return posInf
+		}
+		return negInf
+	}
+	return s
+}
+
+// satNeg negates with the sentinels mapped onto each other.
+func satNeg(a int64) int64 {
+	switch a {
+	case negInf:
+		return posInf
+	case posInf:
+		return negInf
+	}
+	return -a
+}
+
+// Add returns the interval of x+y for x in i, y in j.
+func (i Interval) Add(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	return Interval{satAdd(i.Lo, j.Lo), satAdd(i.Hi, j.Hi)}
+}
+
+// Sub returns the interval of x-y.
+func (i Interval) Sub(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	return Interval{satAdd(i.Lo, satNeg(j.Hi)), satAdd(i.Hi, satNeg(j.Lo))}
+}
+
+// mulSafe multiplies when the product provably fits; exact only for
+// operands below 2^31 in magnitude, which covers every offset computation
+// the analysis cares about.
+func mulSafe(a, b int64) (int64, bool) {
+	const lim = 1 << 31
+	if a == negInf || a == posInf || b == negInf || b == posInf {
+		return 0, false
+	}
+	if a > -lim && a < lim && b > -lim && b < lim {
+		return a * b, true
+	}
+	return 0, false
+}
+
+// Mul returns the interval of x*y, giving up (Top) when endpoint products
+// might overflow.
+func (i Interval) Mul(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	lo, hi := int64(posInf), int64(negInf)
+	for _, a := range [2]int64{i.Lo, i.Hi} {
+		for _, b := range [2]int64{j.Lo, j.Hi} {
+			p, ok := mulSafe(a, b)
+			if !ok {
+				return Top()
+			}
+			lo, hi = minI64(lo, p), maxI64(hi, p)
+		}
+	}
+	return Interval{lo, hi}
+}
+
+// Shl returns the interval of x<<s for a constant shift amount.
+func (i Interval) Shl(s Interval) Interval {
+	if i.IsBot() || s.IsBot() {
+		return Bot()
+	}
+	c, ok := s.IsConst()
+	if !ok || c < 0 || c > 62 {
+		return Top()
+	}
+	shift := func(v int64) (int64, bool) {
+		if v == negInf || v == posInf {
+			return v, true // infinity shifted stays infinity
+		}
+		r := v << uint(c)
+		if r>>uint(c) != v { // overflow
+			return 0, false
+		}
+		return r, true
+	}
+	lo, okLo := shift(i.Lo)
+	hi, okHi := shift(i.Hi)
+	if !okLo || !okHi {
+		return Top()
+	}
+	return Interval{lo, hi}
+}
+
+// ShrA returns the interval of x>>s (arithmetic) for a constant shift.
+func (i Interval) ShrA(s Interval) Interval {
+	if i.IsBot() || s.IsBot() {
+		return Bot()
+	}
+	c, ok := s.IsConst()
+	if !ok || c < 0 || c > 63 {
+		return Top()
+	}
+	shift := func(v int64) int64 {
+		if v == negInf || v == posInf {
+			return v
+		}
+		return v >> uint(c)
+	}
+	return Interval{shift(i.Lo), shift(i.Hi)}
+}
+
+// ShrL returns the interval of logical x>>s for a constant shift; sound
+// only when x is provably non-negative (where it agrees with ShrA).
+func (i Interval) ShrL(s Interval) Interval {
+	if i.IsBot() || s.IsBot() {
+		return Bot()
+	}
+	if i.Lo < 0 {
+		return Top() // a negative operand turns into a huge positive value
+	}
+	return i.ShrA(s)
+}
+
+// And returns the interval of x&y. Precise enough for the mask idioms the
+// frontend emits: a non-negative operand bounds the result to [0, that
+// operand's upper bound].
+func (i Interval) And(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	hi := int64(posInf)
+	if i.Lo >= 0 && i.Hi != posInf {
+		hi = i.Hi
+	}
+	if j.Lo >= 0 && j.Hi != posInf {
+		hi = minI64(hi, j.Hi)
+	}
+	if hi == posInf {
+		if i.Lo >= 0 || j.Lo >= 0 {
+			return Interval{0, posInf}
+		}
+		return Top()
+	}
+	return Interval{0, hi}
+}
+
+// OrXor covers both x|y and x^y: for non-negative operands below a power
+// of two, the result stays below that power of two.
+func (i Interval) OrXor(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	if i.Lo < 0 || j.Lo < 0 || i.Hi == posInf || j.Hi == posInf {
+		return Top()
+	}
+	return Interval{0, nextPow2Mask(maxI64(i.Hi, j.Hi))}
+}
+
+// nextPow2Mask returns the smallest 2^k-1 >= v (v >= 0).
+func nextPow2Mask(v int64) int64 {
+	m := int64(1)
+	for m-1 < v && m > 0 {
+		m <<= 1
+	}
+	if m <= 0 {
+		return posInf
+	}
+	return m - 1
+}
+
+// Div returns the interval of x/y when the divisor is provably positive
+// (|x/y| <= |x| for y >= 1, and the result keeps x's sign possibilities).
+func (i Interval) Div(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	if j.Lo < 1 {
+		return Top()
+	}
+	return Interval{minI64(i.Lo, 0), maxI64(i.Hi, 0)}
+}
+
+// Rem returns the interval of x%y (Go semantics: result takes the
+// dividend's sign) when the divisor is provably in [1, hi].
+func (i Interval) Rem(j Interval) Interval {
+	if i.IsBot() || j.IsBot() {
+		return Bot()
+	}
+	if j.Lo < 1 || j.Hi == posInf {
+		return Top()
+	}
+	m := j.Hi - 1
+	if i.Lo >= 0 {
+		return Interval{0, minI64(m, maxI64(i.Hi, 0))}
+	}
+	return Interval{-m, m}
+}

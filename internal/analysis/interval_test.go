@@ -1,0 +1,99 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+
+	"fpint/internal/analysis"
+)
+
+func iv(lo, hi int64) analysis.Interval { return analysis.Interval{Lo: lo, Hi: hi} }
+
+func TestIntervalPredicates(t *testing.T) {
+	if !analysis.Bot().IsBot() || analysis.Bot().IsTop() {
+		t.Error("Bot misclassified")
+	}
+	if !analysis.Top().IsTop() || analysis.Top().IsBot() {
+		t.Error("Top misclassified")
+	}
+	if c, ok := analysis.Const(7).IsConst(); !ok || c != 7 {
+		t.Errorf("Const(7).IsConst() = %d, %v", c, ok)
+	}
+	if _, ok := iv(1, 2).IsConst(); ok {
+		t.Error("[1,2] claimed constant")
+	}
+	if !iv(0, 9).Contains(9) || iv(0, 9).Contains(10) || analysis.Bot().Contains(0) {
+		t.Error("Contains wrong")
+	}
+	if !iv(-3, 3).Finite() || analysis.Top().Finite() || analysis.Bot().Finite() {
+		t.Error("Finite wrong")
+	}
+}
+
+func TestIntervalJoinMeetWiden(t *testing.T) {
+	if got := iv(0, 2).Join(iv(5, 9)); got != iv(0, 9) {
+		t.Errorf("join = %v", got)
+	}
+	if got := analysis.Bot().Join(iv(1, 1)); got != iv(1, 1) {
+		t.Errorf("bot join = %v", got)
+	}
+	if got := iv(0, 9).Meet(iv(5, 20)); got != iv(5, 9) {
+		t.Errorf("meet = %v", got)
+	}
+	if got := iv(0, 2).Meet(iv(5, 9)); !got.IsBot() {
+		t.Errorf("disjoint meet = %v, want bottom", got)
+	}
+	// Empty meets must return THE canonical bottom, not an arbitrary
+	// empty interval: the fixpoint loop detects change by struct
+	// comparison, and two lattice-equal bottoms that compare unequal
+	// (e.g. [101..2] vs [101..0] from infeasible-edge refinement against
+	// a loop counter) make it oscillate forever.
+	if got := iv(101, 101).Meet(iv(-5, 2)); got != analysis.Bot() {
+		t.Errorf("disjoint meet = %#v, want canonical Bot %#v", got, analysis.Bot())
+	}
+	if got := iv(101, 101).Meet(iv(-5, 0)); got != analysis.Bot() {
+		t.Errorf("disjoint meet = %#v, want canonical Bot %#v", got, analysis.Bot())
+	}
+	// Widen blows exactly the bounds that moved out to infinity.
+	w := iv(0, 5).Widen(iv(0, 6))
+	if w.Lo != 0 || w.Hi != math.MaxInt64 {
+		t.Errorf("widen hi = %v", w)
+	}
+	w = iv(0, 5).Widen(iv(-1, 5))
+	if w.Lo != math.MinInt64 || w.Hi != 5 {
+		t.Errorf("widen lo = %v", w)
+	}
+}
+
+func TestIntervalArith(t *testing.T) {
+	top, bot := analysis.Top(), analysis.Bot()
+	cases := []struct {
+		name string
+		got  analysis.Interval
+		want analysis.Interval
+	}{
+		{"add", iv(1, 2).Add(iv(10, 20)), iv(11, 22)},
+		{"add-sat", iv(math.MaxInt64-1, math.MaxInt64-1).Add(iv(5, 5)), iv(math.MaxInt64, math.MaxInt64)},
+		{"add-bot", bot.Add(iv(0, 0)), bot},
+		{"sub", iv(10, 20).Sub(iv(1, 2)), iv(8, 19)},
+		{"mul", iv(-2, 3).Mul(iv(4, 5)), iv(-10, 15)},
+		{"mul-overflow", iv(1<<40, 1<<40).Mul(iv(1<<40, 1<<40)), top},
+		{"shl", iv(0, 9).Shl(analysis.Const(3)), iv(0, 72)},
+		{"shl-var", iv(0, 9).Shl(iv(0, 3)), top},
+		{"shra", iv(-8, 16).ShrA(analysis.Const(2)), iv(-2, 4)},
+		{"shrl-neg", iv(-8, 16).ShrL(analysis.Const(2)), top},
+		{"shrl-pos", iv(8, 16).ShrL(analysis.Const(2)), iv(2, 4)},
+		{"and", top.And(iv(0, 255)), iv(0, 255)},
+		{"and-negative", iv(-5, -1).And(iv(-5, -1)), top},
+		{"orxor", iv(0, 5).OrXor(iv(0, 9)), iv(0, 15)},
+		{"div", iv(0, 100).Div(iv(1, 10)), iv(0, 100)},
+		{"div-maybe-zero", iv(0, 100).Div(iv(0, 10)), top},
+		{"rem", iv(0, 1000).Rem(iv(1, 10)), iv(0, 9)},
+		{"rem-neg-dividend", iv(-5, 1000).Rem(iv(1, 10)), iv(-9, 9)},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}

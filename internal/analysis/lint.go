@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"fpint/internal/ir"
+)
+
+// Diag is one lint finding. Code is a stable machine identifier (used as the
+// SARIF rule id); Msg is the human-readable explanation.
+type Diag struct {
+	Fn   string `json:"fn"`
+	Line int    `json:"line"`
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// Lint rule identifiers.
+const (
+	CodeUnreachable = "unreachable-block"
+	CodeDeadStore   = "dead-store"
+	CodeDivByZero   = "div-by-zero"
+	CodeOutOfBounds = "out-of-bounds"
+	CodeCostReject  = "cost-rejected"
+)
+
+// SortDiags orders findings deterministically: by function, line, rule, text.
+func SortDiags(ds []Diag) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// LintModule runs every analysis-backed lint over the module and returns the
+// findings sorted deterministically. The module should be pre-optimization
+// IR: the optimizer deletes unreachable blocks, which would silence the
+// unreachable-block check.
+func LintModule(mod *ir.Module) []Diag {
+	facts := AnalyzeModule(mod)
+	var ds []Diag
+	for _, fn := range mod.Funcs {
+		ff := facts.Funcs[fn.Name]
+		ds = append(ds, lintUnreachable(fn, ff.CFG)...)
+		ds = append(ds, lintDivByZero(fn, ff.Ranges)...)
+		ds = append(ds, lintOutOfBounds(fn, mod, ff.Aliases)...)
+	}
+	ds = append(ds, lintDeadStores(mod, facts)...)
+	SortDiags(ds)
+	return ds
+}
+
+// instrLine falls back through a block to the first instruction that carries
+// source position information.
+func blockLine(b *ir.Block) int {
+	for _, in := range b.Instrs {
+		if in.Line > 0 {
+			return in.Line
+		}
+	}
+	return 0
+}
+
+func lintUnreachable(fn *ir.Func, cfg *CFG) []Diag {
+	var ds []Diag
+	for _, b := range cfg.Unreachable {
+		ds = append(ds, Diag{
+			Fn:   fn.Name,
+			Line: blockLine(b),
+			Code: CodeUnreachable,
+			Msg:  fmt.Sprintf("block b%d is unreachable from the function entry", b.ID),
+		})
+	}
+	return ds
+}
+
+func lintDivByZero(fn *ir.Func, r *Ranges) []Diag {
+	var ds []Diag
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpDiv && in.Op != ir.OpRem {
+				continue
+			}
+			iv, ok := r.DivisorIn[in.ID]
+			if !ok || iv.IsBot() || !iv.Contains(0) {
+				continue
+			}
+			opName := "division"
+			if in.Op == ir.OpRem {
+				opName = "remainder"
+			}
+			if c, isConst := iv.IsConst(); isConst && c == 0 {
+				ds = append(ds, Diag{Fn: fn.Name, Line: in.Line, Code: CodeDivByZero,
+					Msg: fmt.Sprintf("%s by constant zero", opName)})
+			} else if !iv.IsTop() {
+				ds = append(ds, Diag{Fn: fn.Name, Line: in.Line, Code: CodeDivByZero,
+					Msg: fmt.Sprintf("%s divisor has range %s which includes zero", opName, iv)})
+			}
+		}
+	}
+	return ds
+}
+
+func lintOutOfBounds(fn *ir.Func, mod *ir.Module, al *Aliases) []Diag {
+	var ds []Diag
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				continue
+			}
+			loc, ok := al.Locs[in.ID]
+			if !ok || loc.Base.Kind == BaseUnknown || loc.Off.IsBot() {
+				continue
+			}
+			size, known := objectBytes(loc.Base, fn, mod)
+			if !known || size < 8 {
+				continue
+			}
+			// Report only finite offending bounds: an infinite bound is the
+			// analysis giving up, not evidence of a bad access.
+			if loc.Off.Lo != negInf && loc.Off.Lo < 0 {
+				ds = append(ds, Diag{Fn: fn.Name, Line: in.Line, Code: CodeOutOfBounds,
+					Msg: fmt.Sprintf("access to %s may start at byte offset %d, before the object", loc.Base, loc.Off.Lo)})
+			}
+			if loc.Off.Hi != posInf && loc.Off.Hi > size-8 {
+				ds = append(ds, Diag{Fn: fn.Name, Line: in.Line, Code: CodeOutOfBounds,
+					Msg: fmt.Sprintf("access to %s may start at byte offset %d, past its %d bytes", loc.Base, loc.Off.Hi, size)})
+			}
+		}
+	}
+	return ds
+}
+
+// lintDeadStores reports globals that are stored somewhere in the module but
+// never loaded, with escape hatches for anything the intraprocedural
+// analyses cannot see: an escaped base or any undecomposable access in the
+// module suppresses the check entirely for the affected globals.
+func lintDeadStores(mod *ir.Module, facts *Facts) []Diag {
+	type storeSite struct {
+		fn   string
+		line int
+	}
+	loaded := make(map[string]bool)
+	escaped := make(map[string]bool)
+	anyUnknown := false
+	stores := make(map[string][]storeSite)
+
+	for _, fn := range mod.Funcs {
+		ff := facts.Funcs[fn.Name]
+		for base := range ff.Aliases.Escaped {
+			if base.Kind == BaseGlobal {
+				escaped[base.Sym] = true
+			}
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+					continue
+				}
+				loc, ok := ff.Aliases.Locs[in.ID]
+				if !ok || loc.Base.Kind == BaseUnknown {
+					anyUnknown = true
+					continue
+				}
+				if loc.Base.Kind != BaseGlobal {
+					continue
+				}
+				if in.Op == ir.OpLoad {
+					loaded[loc.Base.Sym] = true
+				} else {
+					stores[loc.Base.Sym] = append(stores[loc.Base.Sym], storeSite{fn.Name, in.Line})
+				}
+			}
+		}
+	}
+	if anyUnknown {
+		return nil // an unanalyzable access could be the missing load
+	}
+
+	var ds []Diag
+	for sym, sites := range stores {
+		if loaded[sym] || escaped[sym] {
+			continue
+		}
+		for _, s := range sites {
+			ds = append(ds, Diag{Fn: s.fn, Line: s.line, Code: CodeDeadStore,
+				Msg: fmt.Sprintf("store to global %s, which is never loaded", sym)})
+		}
+	}
+	return ds
+}

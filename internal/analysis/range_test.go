@@ -1,0 +1,251 @@
+package analysis_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fpint/internal/analysis"
+	"fpint/internal/ir"
+)
+
+// buildCountedLoop builds `i = 0; while (i < bound) i = i + 1; return i`
+// and returns the function plus the increment instruction.
+func buildCountedLoop(bound int64) (*ir.Func, *ir.Instr) {
+	fn := ir.NewFunc("loop", ir.I64)
+	i := fn.NewVReg(ir.I64)
+	c := fn.NewVReg(ir.I64)
+	b0 := fn.NewBlock()
+	head := fn.NewBlock()
+	body := fn.NewBlock()
+	exit := fn.NewBlock()
+	fn.Entry = b0
+
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: i, Imm: 0})
+	b0.Append(&ir.Instr{Op: ir.OpJmp})
+	b0.Succs = []*ir.Block{head}
+
+	head.Append(&ir.Instr{Op: ir.OpCmpLT, Dst: c, Args: []ir.VReg{i}, Imm: bound, ImmArg: true})
+	head.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{c}})
+	head.Succs = []*ir.Block{body, exit}
+
+	inc := body.Append(&ir.Instr{Op: ir.OpAdd, Dst: i, Args: []ir.VReg{i}, Imm: 1, ImmArg: true})
+	body.Append(&ir.Instr{Op: ir.OpJmp})
+	body.Succs = []*ir.Block{head}
+
+	exit.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{i}})
+	fn.RecomputePreds()
+	fn.Renumber()
+	return fn, inc
+}
+
+// TestRangeLoopCounterWidens: the loop-carried counter forces widening
+// (the bound exceeds the widening threshold, so plain iteration would take
+// ~bound passes), then branch-edge refinement recovers the exact interval
+// inside the body: i < bound on the true edge, so i+1 is in [1, bound].
+func TestRangeLoopCounterWidens(t *testing.T) {
+	const bound = 1000 // far past wideningThreshold: termination needs Widen
+	fn, inc := buildCountedLoop(bound)
+	r := analysis.AnalyzeRanges(fn, analysis.BuildCFG(fn))
+	got, ok := r.ValOut[inc.ID]
+	if !ok {
+		t.Fatal("no interval recorded for the increment")
+	}
+	want := analysis.Interval{Lo: 1, Hi: bound}
+	if got != want {
+		t.Errorf("increment interval = %v, want %v", got, want)
+	}
+}
+
+// TestRangeUnboundedCounterTerminates: a counter guarded by an opaque
+// condition (no comparison to refine against) has no finite fixpoint, so
+// only widening makes the analysis terminate; the result keeps the proven
+// lower bound and gives up on the upper one.
+func TestRangeUnboundedCounterTerminates(t *testing.T) {
+	fn := ir.NewFunc("unbounded", ir.I64)
+	i := fn.NewVReg(ir.I64)
+	c := fn.NewVReg(ir.I64)
+	g := fn.NewVReg(ir.I64)
+	b0 := fn.NewBlock()
+	head := fn.NewBlock()
+	body := fn.NewBlock()
+	exit := fn.NewBlock()
+	fn.Entry = b0
+
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: i, Imm: 0})
+	b0.Append(&ir.Instr{Op: ir.OpAddrGlobal, Dst: g, Sym: "flag"})
+	b0.Append(&ir.Instr{Op: ir.OpJmp})
+	b0.Succs = []*ir.Block{head}
+
+	head.Append(&ir.Instr{Op: ir.OpLoad, Dst: c, Args: []ir.VReg{g}})
+	head.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{c}})
+	head.Succs = []*ir.Block{body, exit}
+
+	inc := body.Append(&ir.Instr{Op: ir.OpAdd, Dst: i, Args: []ir.VReg{i}, Imm: 1, ImmArg: true})
+	body.Append(&ir.Instr{Op: ir.OpJmp})
+	body.Succs = []*ir.Block{head}
+
+	exit.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{i}})
+	fn.RecomputePreds()
+	fn.Renumber()
+
+	r := analysis.AnalyzeRanges(fn, analysis.BuildCFG(fn))
+	got := r.ValOut[inc.ID]
+	want := analysis.Interval{Lo: 1, Hi: math.MaxInt64}
+	if got != want {
+		t.Errorf("increment interval = %v, want %v", got, want)
+	}
+}
+
+// TestRangeInfeasibleEdgeTerminates pins the fix for a fixpoint divergence
+// found by fpifuzz (seed 144), auto-reduced to:
+//
+//	int main() {
+//	  int x = 101;
+//	  int w = 0;
+//	  while (w < 4) {
+//	    w++;
+//	    if (w > x) {                     // infeasible: w <= 4 < 101
+//	      for (int i = 0; i; i++) {
+//	        int d = 0;
+//	        do { } while (d);
+//	      }
+//	    }
+//	  }
+//	}
+//
+// Refining along the infeasible edge meets x's singleton [101..101]
+// against the evolving counter, producing a differently-shaped empty
+// interval on each outer pass ([101..1], [101..3], ...). The doubly
+// nested loop inside the region keeps several of those shapes circulating
+// at once, and before Meet canonicalized every empty result to the one
+// Bot value, each join of two lattice-equal bottoms registered as a
+// change — the worklist never drained. The analysis runs on a watchdog so
+// a regression fails fast instead of stalling the package suite.
+func TestRangeInfeasibleEdgeTerminates(t *testing.T) {
+	// The blocks mirror the frontend's lowering of the reduced program
+	// exactly: the increment goes through a copy temp (wTmp) that the
+	// guard compares, the for-exit edge returns straight to the outer
+	// head, and the empty do-while is a conditional self-loop.
+	fn := ir.NewFunc("infeasible", ir.I64)
+	xc := fn.NewVReg(ir.I64)
+	x := fn.NewVReg(ir.I64)
+	wc := fn.NewVReg(ir.I64)
+	w := fn.NewVReg(ir.I64)
+	iz := fn.NewVReg(ir.I64)
+	dz := fn.NewVReg(ir.I64)
+	cw := fn.NewVReg(ir.I64)
+	wTmp := fn.NewVReg(ir.I64)
+	cg := fn.NewVReg(ir.I64)
+	i := fn.NewVReg(ir.I64)
+	d := fn.NewVReg(ir.I64)
+	iTmp := fn.NewVReg(ir.I64)
+	ret := fn.NewVReg(ir.I64)
+
+	b0 := fn.NewBlock()
+	head := fn.NewBlock()
+	body := fn.NewBlock()
+	exit := fn.NewBlock()
+	iinit := fn.NewBlock()
+	ihead := fn.NewBlock()
+	dinit := fn.NewBlock()
+	ilatch := fn.NewBlock()
+	dbody := fn.NewBlock()
+	fn.Entry = b0
+
+	// x = 101; w = 0 (through copy temps, as the frontend emits)
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: xc, Imm: 101})
+	b0.Append(&ir.Instr{Op: ir.OpCopy, Dst: x, Args: []ir.VReg{xc}})
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: wc, Imm: 0})
+	b0.Append(&ir.Instr{Op: ir.OpCopy, Dst: w, Args: []ir.VReg{wc}})
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: iz, Imm: 0})
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: dz, Imm: 0})
+	b0.Append(&ir.Instr{Op: ir.OpJmp})
+	b0.Succs = []*ir.Block{head}
+
+	// while (w < 4)
+	head.Append(&ir.Instr{Op: ir.OpCmpLT, Dst: cw, Args: []ir.VReg{w}, Imm: 4, ImmArg: true})
+	head.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{cw}})
+	head.Succs = []*ir.Block{body, exit}
+
+	// wTmp = w + 1; w = wTmp; if (wTmp > x) — infeasible: w <= 4 < 101
+	body.Append(&ir.Instr{Op: ir.OpAdd, Dst: wTmp, Args: []ir.VReg{w}, Imm: 1, ImmArg: true})
+	body.Append(&ir.Instr{Op: ir.OpCopy, Dst: w, Args: []ir.VReg{wTmp}})
+	body.Append(&ir.Instr{Op: ir.OpCmpGT, Dst: cg, Args: []ir.VReg{wTmp, x}})
+	body.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{cg}})
+	body.Succs = []*ir.Block{iinit, head}
+
+	exit.Append(&ir.Instr{Op: ir.OpConst, Dst: ret, Imm: 0})
+	exit.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{ret}})
+
+	// for (i = 0; i; i++) — the exit edge rejoins the outer head
+	iinit.Append(&ir.Instr{Op: ir.OpCopy, Dst: i, Args: []ir.VReg{iz}})
+	iinit.Append(&ir.Instr{Op: ir.OpJmp})
+	iinit.Succs = []*ir.Block{ihead}
+
+	ihead.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{i}})
+	ihead.Succs = []*ir.Block{dinit, head}
+
+	// d = 0; do { } while (d) — a conditional self-loop
+	dinit.Append(&ir.Instr{Op: ir.OpCopy, Dst: d, Args: []ir.VReg{dz}})
+	dinit.Append(&ir.Instr{Op: ir.OpJmp})
+	dinit.Succs = []*ir.Block{dbody}
+
+	ilatch.Append(&ir.Instr{Op: ir.OpAdd, Dst: iTmp, Args: []ir.VReg{i}, Imm: 1, ImmArg: true})
+	ilatch.Append(&ir.Instr{Op: ir.OpCopy, Dst: i, Args: []ir.VReg{iTmp}})
+	ilatch.Append(&ir.Instr{Op: ir.OpJmp})
+	ilatch.Succs = []*ir.Block{ihead}
+
+	dbody.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{d}})
+	dbody.Succs = []*ir.Block{dbody, ilatch}
+
+	fn.RecomputePreds()
+	fn.Renumber()
+
+	done := make(chan *analysis.Ranges, 1)
+	go func() { done <- analysis.AnalyzeRanges(fn, analysis.BuildCFG(fn)) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("range analysis did not terminate on an infeasible guarded region")
+	}
+}
+
+// TestRangeDivisorRefinement: a `d > 0` guard proves the divisor positive
+// at the division, while an unguarded division keeps zero in range.
+func TestRangeDivisorRefinement(t *testing.T) {
+	fn := ir.NewFunc("guarded", ir.I64)
+	d := fn.NewVReg(ir.I64)
+	x := fn.NewVReg(ir.I64)
+	c := fn.NewVReg(ir.I64)
+	q := fn.NewVReg(ir.I64)
+	g := fn.NewVReg(ir.I64)
+	b0 := fn.NewBlock()
+	div := fn.NewBlock()
+	exit := fn.NewBlock()
+	fn.Entry = b0
+
+	b0.Append(&ir.Instr{Op: ir.OpAddrGlobal, Dst: g, Sym: "cell"})
+	b0.Append(&ir.Instr{Op: ir.OpLoad, Dst: d, Args: []ir.VReg{g}})
+	b0.Append(&ir.Instr{Op: ir.OpConst, Dst: x, Imm: 100})
+	b0.Append(&ir.Instr{Op: ir.OpCmpGT, Dst: c, Args: []ir.VReg{d}, Imm: 0, ImmArg: true})
+	b0.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.VReg{c}})
+	b0.Succs = []*ir.Block{div, exit}
+
+	guarded := div.Append(&ir.Instr{Op: ir.OpDiv, Dst: q, Args: []ir.VReg{x, d}})
+	div.Append(&ir.Instr{Op: ir.OpJmp})
+	div.Succs = []*ir.Block{exit}
+
+	unguarded := exit.Append(&ir.Instr{Op: ir.OpRem, Dst: q, Args: []ir.VReg{x, d}})
+	exit.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.VReg{q}})
+	fn.RecomputePreds()
+	fn.Renumber()
+
+	r := analysis.AnalyzeRanges(fn, analysis.BuildCFG(fn))
+	if in := r.DivisorIn[guarded.ID]; in.Contains(0) {
+		t.Errorf("guarded divisor = %v, want zero excluded", in)
+	}
+	if in := r.DivisorIn[unguarded.ID]; !in.Contains(0) {
+		t.Errorf("unguarded divisor = %v, want zero possible", in)
+	}
+}

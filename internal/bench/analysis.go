@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"fpint/internal/codegen"
+	"fpint/internal/uarch"
+)
+
+// AnalysisDeltaRow quantifies what the static-analysis address oracle buys
+// one workload under one scheme: the static offload share (profile-weighted
+// FPa fraction of the partitionable weight) with the analyses off and on,
+// the number of unpinned address nodes, and cycle counts on both Table 1
+// machine configurations.
+type AnalysisDeltaRow struct {
+	Workload     string
+	Scheme       codegen.Scheme
+	StaticOffPct float64 // analysis off
+	StaticOnPct  float64 // analysis on
+	Unpins       int     // address nodes the oracle unpinned
+	Cycles4Off   int64   // 4-way, analysis off
+	Cycles4On    int64
+	Cycles8Off   int64 // 8-way, analysis off
+	Cycles8On    int64
+}
+
+// CompileAnalysis builds the workload under the scheme with explicit
+// control of the static-analysis address oracle.
+func (s *Suite) CompileAnalysis(w *Workload, scheme codegen.Scheme, analysis bool) (*codegen.Result, error) {
+	fr, err := s.frontend(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := codegen.Compile(fr.mod, codegen.Options{Scheme: scheme, Profile: fr.prof, Analysis: analysis})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", w.Name, scheme, err)
+	}
+	return res, nil
+}
+
+// staticOffload is the profile-weighted FPa share of the partitionable
+// weight, summed over functions, as a percentage.
+func staticOffload(res *codegen.Result) float64 {
+	var fpa, total float64
+	for _, p := range res.Partitions {
+		if p == nil {
+			continue
+		}
+		st := p.ComputeStats()
+		fpa += st.FPaWeight
+		total += st.TotalWeight
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * fpa / total
+}
+
+func countUnpins(res *codegen.Result) int {
+	n := 0
+	for _, p := range res.Partitions {
+		if p == nil || p.Audit == nil {
+			continue
+		}
+		n += len(p.Audit.Unpins)
+	}
+	return n
+}
+
+// AnalysisDelta measures the analysis-off vs analysis-on deltas for each
+// workload under the scheme, cross-checking every run's functional result
+// against the IR interpreter on both machine configurations.
+func (s *Suite) AnalysisDelta(ws []Workload, scheme codegen.Scheme) ([]AnalysisDeltaRow, error) {
+	cfg4, cfg8 := uarch.Config4Way(), uarch.Config8Way()
+	var rows []AnalysisDeltaRow
+	for i := range ws {
+		w := &ws[i]
+		fr, err := s.frontend(w)
+		if err != nil {
+			return nil, err
+		}
+		row := AnalysisDeltaRow{Workload: w.Name, Scheme: scheme}
+		for _, analysis := range []bool{false, true} {
+			res, err := s.CompileAnalysis(w, scheme, analysis)
+			if err != nil {
+				return nil, err
+			}
+			off := staticOffload(res)
+			var c4, c8 int64
+			for _, cfg := range []uarch.Config{cfg4, cfg8} {
+				out, st, err := uarch.Run(res.Prog, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/analysis=%v: %w", w.Name, scheme, analysis, err)
+				}
+				if out.Ret != fr.ref.Ret || out.Output != fr.ref.Output {
+					return nil, fmt.Errorf("%s/%s/analysis=%v/%s: functional mismatch: got %d want %d",
+						w.Name, scheme, analysis, cfg.Name, out.Ret, fr.ref.Ret)
+				}
+				if cfg.Name == cfg4.Name {
+					c4 = st.Cycles
+				} else {
+					c8 = st.Cycles
+				}
+			}
+			if analysis {
+				row.StaticOnPct = off
+				row.Unpins = countUnpins(res)
+				row.Cycles4On, row.Cycles8On = c4, c8
+			} else {
+				row.StaticOffPct = off
+				row.Cycles4Off, row.Cycles8Off = c4, c8
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

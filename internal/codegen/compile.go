@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"fpint/internal/analysis"
 	"fpint/internal/core"
 	"fpint/internal/interp"
 	"fpint/internal/ir"
@@ -45,6 +46,14 @@ type Options struct {
 	// MaxFPaFraction caps the FPa partition's estimated dynamic weight for
 	// SchemeBalanced (default 0.5 when unset).
 	MaxFPaFraction float64
+
+	// Analysis enables the static-analysis sharpened partitioning: the
+	// alias and value-range analyses run before graph construction and
+	// their address oracle unpins load/store address nodes proven to be
+	// in-bounds accesses to known objects, letting whole address-compute
+	// slices become offload candidates. Every unpin is recorded in the
+	// partition audit trail and re-checked by the partition verifier.
+	Analysis bool
 
 	// InterprocFPArgs enables the §6.6 interprocedural extension: integer
 	// arguments whose producers are FPa-resident at every call site of a
@@ -130,12 +139,22 @@ func Compile(mod *ir.Module, opts Options) (*Result, error) {
 
 	// Phase 1: partition every function (the interprocedural argument plan
 	// needs all partitions before any code is selected).
+	var facts *analysis.Facts
+	if opts.Analysis && opts.Scheme != SchemeNone {
+		facts = analysis.AnalyzeModule(mod)
+	}
 	graphs := make(map[string]*core.Graph)
 	for _, fn := range mod.Funcs {
 		var part *core.Partition
 		if opts.Scheme != SchemeNone {
 			partStart := time.Now()
-			g := core.BuildGraph(fn, opts.Profile)
+			var oracle core.AddrOracle
+			if facts != nil {
+				if ff := facts.Funcs[fn.Name]; ff != nil {
+					oracle = ff
+				}
+			}
+			g := core.BuildGraphWithOracle(fn, opts.Profile, oracle)
 			graphs[fn.Name] = g
 			switch opts.Scheme {
 			case SchemeBasic:

@@ -211,17 +211,21 @@ func TestVerifierOverTestdata(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, scheme := range []codegen.Scheme{
-			codegen.SchemeBasic, codegen.SchemeAdvanced, codegen.SchemeBalanced,
+		for _, opts := range []codegen.Options{
+			{Scheme: codegen.SchemeBasic},
+			{Scheme: codegen.SchemeAdvanced},
+			{Scheme: codegen.SchemeBalanced},
+			{Scheme: codegen.SchemeBasic, Analysis: true},
+			{Scheme: codegen.SchemeAdvanced, Analysis: true},
 		} {
-			res, _, err := codegen.CompileSourceWithFallback(string(data), codegen.Options{Scheme: scheme})
+			res, _, err := codegen.CompileSourceWithFallback(string(data), opts)
 			if err != nil {
-				t.Errorf("%s/%v: %v", filepath.Base(file), scheme, err)
+				t.Errorf("%s/%v: %v", filepath.Base(file), opts.Scheme, err)
 				continue
 			}
 			if res.Fallback != nil {
-				t.Errorf("%s/%v: verifier rejected a healthy partition: %v",
-					filepath.Base(file), scheme, res.Fallback.Causes)
+				t.Errorf("%s/%v (analysis=%v): verifier rejected a healthy partition: %v",
+					filepath.Base(file), opts.Scheme, opts.Analysis, res.Fallback.Causes)
 			}
 		}
 	}

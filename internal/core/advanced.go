@@ -486,5 +486,6 @@ func (a *advancedState) finish() *Partition {
 		}
 	}
 	p.Audit = a.audit
+	attachUnpins(p)
 	return p
 }

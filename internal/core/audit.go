@@ -26,11 +26,27 @@ type ComponentDecision struct {
 	Reason    string
 }
 
+// UnpinDecision is the audit record of one load/store address node the
+// static analysis unpinned: the node, the instruction's source line, the
+// analysis' justification, and whether the partitioner actually placed the
+// unpinned address in FPa (unpinning only removes the constraint; the cost
+// model still decides placement).
+type UnpinDecision struct {
+	Node    NodeID
+	Kind    string // "load-addr" or "store-addr"
+	Line    int
+	Reason  string
+	Offload bool // the address node landed in FPa
+}
+
 // Audit is the partition-decision trail of one function under one scheme.
 type Audit struct {
 	Fn         string
 	Scheme     string
 	Components []ComponentDecision
+	// Unpins records every address node the analysis oracle unpinned,
+	// with its justification and placement outcome.
+	Unpins []UnpinDecision `json:",omitempty"`
 	// Notes records exceptional events attached to the trail after the
 	// fact — e.g. that this partition was produced by a degradation-ladder
 	// fallback after a stronger scheme failed verification.
@@ -58,7 +74,42 @@ func (a *Audit) String() string {
 		fmt.Fprintf(&sb, "  %4d %5d %6d %9.1f %9.1f %9.1f %9.1f  %-6s %s\n",
 			c.Component, c.Nodes, c.Transfers, c.Weight, c.Benefit, c.Overhead, c.Profit, verdict, c.Reason)
 	}
+	for _, u := range a.Unpins {
+		placed := "kept in INT"
+		if u.Offload {
+			placed = "offloaded"
+		}
+		fmt.Fprintf(&sb, "  unpin n%d (%s, line %d): %s — %s\n", u.Node, u.Kind, u.Line, u.Reason, placed)
+	}
 	return sb.String()
+}
+
+// attachUnpins fills p.Audit.Unpins from the graph's unpin records, in node
+// order, noting for each whether the partitioner placed it in FPa.
+func attachUnpins(p *Partition) {
+	g := p.G
+	if len(g.Unpinned) == 0 {
+		return
+	}
+	ids := make([]NodeID, 0, len(g.Unpinned))
+	for id := range g.Unpinned {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := g.Nodes[id]
+		line := 0
+		if n.Instr != nil {
+			line = n.Instr.Line
+		}
+		p.Audit.Unpins = append(p.Audit.Unpins, UnpinDecision{
+			Node:    id,
+			Kind:    n.Kind.String(),
+			Line:    line,
+			Reason:  g.Unpinned[id],
+			Offload: p.Assign[id] == SubFPa,
+		})
+	}
 }
 
 // sortComponents orders decisions by their lowest member node and assigns

@@ -32,6 +32,7 @@ func BasicPartition(g *Graph) *Partition {
 		}
 	}
 	p.Audit = auditBasic(g, comp)
+	attachUnpins(p)
 	return p
 }
 

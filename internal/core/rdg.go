@@ -93,10 +93,27 @@ type Node struct {
 	IsActualArg bool
 }
 
+// AddrOracle lets a static analysis vouch for load/store addresses. When
+// SafeAddr returns ok for an instruction ID, the partitioner may treat the
+// address half of that load/store as flexible instead of pinned to INT: the
+// analysis has proven the address a well-behaved access to a known object,
+// so computing it on the FPa side (and materializing it into an integer
+// register at the access) cannot change what the access touches. The reason
+// string is recorded as the audit-trail justification and re-checked by the
+// partition verifier.
+type AddrOracle interface {
+	SafeAddr(instrID int) (reason string, ok bool)
+}
+
 // Graph is the RDG of one function.
 type Graph struct {
 	Fn    *ir.Func
 	Nodes []*Node
+
+	// Unpinned records the oracle justification for every load/store
+	// address node that was built ClassFlex instead of ClassPinInt. The
+	// partition verifier refuses FPa address nodes without an entry here.
+	Unpinned map[NodeID]string
 
 	// Node lookup per instruction ID.
 	mainNode  map[int]NodeID // Plain/Branch/Jump/Call/Ret nodes
@@ -138,9 +155,17 @@ func (g *Graph) CountOf(id NodeID) float64 { return g.Nodes[id].Count }
 // not covered by it get the probabilistic estimate p_B * 5^d_B, with both
 // branch directions assumed equally likely (§6.1).
 func BuildGraph(fn *ir.Func, profile *interp.Profile) *Graph {
+	return BuildGraphWithOracle(fn, profile, nil)
+}
+
+// BuildGraphWithOracle constructs the RDG for fn, consulting oracle (which
+// may be nil) to unpin load/store address nodes the analysis proved safe.
+// Every unpin is recorded in Graph.Unpinned with its justification.
+func BuildGraphWithOracle(fn *ir.Func, profile *interp.Profile, oracle AddrOracle) *Graph {
 	fn.Renumber()
 	g := &Graph{
 		Fn:        fn,
+		Unpinned:  make(map[NodeID]string),
 		mainNode:  make(map[int]NodeID),
 		loadAddr:  make(map[int]NodeID),
 		loadVal:   make(map[int]NodeID),
@@ -154,6 +179,18 @@ func BuildGraph(fn *ir.Func, profile *interp.Profile) *Graph {
 		id := NodeID(len(g.Nodes))
 		g.Nodes = append(g.Nodes, &Node{ID: id, Kind: kind, Class: class, Instr: in, Count: count})
 		return id
+	}
+
+	// addrClass picks the class of a load/store address node: pinned to INT
+	// by default (the integer pipeline owns address computation), flexible
+	// when the oracle proves the access safe.
+	addrClass := func(in *ir.Instr) (Class, string, bool) {
+		if oracle != nil {
+			if reason, ok := oracle.SafeAddr(in.ID); ok {
+				return ClassFlex, reason, true
+			}
+		}
+		return ClassPinInt, "", false
 	}
 
 	// Parameter dummy nodes, pre-assigned to INT (§6.4). Float parameters
@@ -175,14 +212,24 @@ func BuildGraph(fn *ir.Func, profile *interp.Profile) *Graph {
 		for _, in := range b.Instrs {
 			switch in.Op {
 			case ir.OpLoad:
-				g.loadAddr[in.ID] = newNode(KindLoadAddr, ClassPinInt, in, cnt)
+				aClass, reason, unpinned := addrClass(in)
+				aNode := newNode(KindLoadAddr, aClass, in, cnt)
+				g.loadAddr[in.ID] = aNode
+				if unpinned {
+					g.Unpinned[aNode] = reason
+				}
 				valClass := ClassFlex
 				if in.IsFloat {
 					valClass = ClassFixedFP
 				}
 				g.loadVal[in.ID] = newNode(KindLoadVal, valClass, in, cnt)
 			case ir.OpStore:
-				g.storeAddr[in.ID] = newNode(KindStoreAddr, ClassPinInt, in, cnt)
+				aClass, reason, unpinned := addrClass(in)
+				aNode := newNode(KindStoreAddr, aClass, in, cnt)
+				g.storeAddr[in.ID] = aNode
+				if unpinned {
+					g.Unpinned[aNode] = reason
+				}
 				valClass := ClassFlex
 				if in.IsFloat {
 					valClass = ClassFixedFP

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"fpint/internal/core"
+)
+
+// allOracle unpins every address with a fixed justification.
+type allOracle struct{}
+
+func (allOracle) SafeAddr(int) (string, bool) { return "test oracle: in bounds", true }
+
+// noneOracle refuses every address (equivalent to passing no oracle).
+type noneOracle struct{}
+
+func (noneOracle) SafeAddr(int) (string, bool) { return "", false }
+
+// TestOracleUnpinsAddressNodes: with a permissive oracle every load/store
+// address node is built flexible and carries a justification; without one
+// every address node stays pinned and the unpin table stays empty.
+func TestOracleUnpinsAddressNodes(t *testing.T) {
+	mod, prof := build(t, gccFragment)
+	fn := mod.Lookup("invalidate_for_call")
+
+	g := core.BuildGraphWithOracle(fn, prof, allOracle{})
+	addrNodes := 0
+	for _, n := range g.Nodes {
+		if n.Kind != core.KindLoadAddr && n.Kind != core.KindStoreAddr {
+			continue
+		}
+		addrNodes++
+		if n.Class != core.ClassFlex {
+			t.Errorf("n%d (%s): class %v, want flexible", n.ID, n.Kind, n.Class)
+		}
+		if g.Unpinned[n.ID] == "" {
+			t.Errorf("n%d (%s): unpinned without justification", n.ID, n.Kind)
+		}
+	}
+	if addrNodes == 0 {
+		t.Fatal("fragment has no address nodes")
+	}
+
+	for _, pinned := range []*core.Graph{
+		core.BuildGraphWithOracle(fn, prof, noneOracle{}),
+		core.BuildGraph(fn, prof),
+	} {
+		if len(pinned.Unpinned) != 0 {
+			t.Errorf("unpin table not empty without oracle: %v", pinned.Unpinned)
+		}
+		for _, n := range pinned.Nodes {
+			if (n.Kind == core.KindLoadAddr || n.Kind == core.KindStoreAddr) && n.Class != core.ClassPinInt {
+				t.Errorf("n%d (%s): address node not pinned", n.ID, n.Kind)
+			}
+		}
+	}
+}
+
+// TestUnpinsAuditedAndVerified: unpinned partitions pass the verifier under
+// both schemes and surface every unpin in the audit trail.
+func TestUnpinsAuditedAndVerified(t *testing.T) {
+	mod, prof := build(t, gccFragment)
+	fn := mod.Lookup("invalidate_for_call")
+	g := core.BuildGraphWithOracle(fn, prof, allOracle{})
+
+	for name, p := range map[string]*core.Partition{
+		"basic":    core.BasicPartition(g),
+		"advanced": core.AdvancedPartition(g, core.CostParams{}),
+	} {
+		if err := core.VerifyPartition(p); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Audit == nil || len(p.Audit.Unpins) != len(g.Unpinned) {
+			t.Fatalf("%s: audit records %d unpins, graph has %d",
+				name, len(p.Audit.Unpins), len(g.Unpinned))
+		}
+		if !strings.Contains(p.Audit.String(), "unpin n") {
+			t.Errorf("%s: audit text lacks unpin lines", name)
+		}
+	}
+}
+
+// TestVerifierRejectsUnjustifiedUnpin: an address node offloaded to FPa
+// without an oracle justification must fail verification, as must hygiene
+// violations in the unpin table itself.
+func TestVerifierRejectsUnjustifiedUnpin(t *testing.T) {
+	mod, prof := build(t, gccFragment)
+	fn := mod.Lookup("invalidate_for_call")
+
+	tamper := []struct {
+		name string
+		mut  func(g *core.Graph, p *core.Partition) bool
+		want string
+	}{
+		{"unjustified-fpa-addr", func(g *core.Graph, p *core.Partition) bool {
+			for _, n := range g.Nodes {
+				if n.Kind == core.KindLoadAddr && p.Assign[n.ID] == core.SubFPa {
+					delete(g.Unpinned, n.ID)
+					return true
+				}
+			}
+			return false
+		}, "without an unpin justification"},
+		{"empty-reason", func(g *core.Graph, p *core.Partition) bool {
+			for id := range g.Unpinned {
+				g.Unpinned[id] = ""
+				return true
+			}
+			return false
+		}, "unpin"},
+		{"non-address-unpin", func(g *core.Graph, p *core.Partition) bool {
+			for _, n := range g.Nodes {
+				if n.Kind == core.KindPlain {
+					g.Unpinned[n.ID] = "bogus"
+					return true
+				}
+			}
+			return false
+		}, "unpin"},
+	}
+	for _, tc := range tamper {
+		g := core.BuildGraphWithOracle(fn, prof, allOracle{})
+		p := core.BasicPartition(g)
+		if err := core.VerifyPartition(p); err != nil {
+			t.Fatalf("%s: clean partition rejected: %v", tc.name, err)
+		}
+		if !tc.mut(g, p) {
+			t.Fatalf("%s: tamper found no target", tc.name)
+		}
+		err := core.VerifyPartition(p)
+		if err == nil {
+			t.Errorf("%s: tampered partition accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q lacks %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -20,7 +20,10 @@ import (
 //     other pinned-INT node (integer mul/div, parameter dummy, frame
 //     address) is assigned to FPa (§5: addresses must form in the integer
 //     file; §6.4: calling conventions bind arguments and return values to
-//     integer registers).
+//     integer registers). Exception: an address node the static analysis
+//     unpinned may sit in FPa, but only with a recorded justification in
+//     Graph.Unpinned — and every Unpinned entry must itself be hygienic
+//     (an address node, built flexible, with a non-empty reason).
 //  2. Copy discipline: every cross-partition register edge is carried by an
 //     explicit transfer — an INT-side producer feeding an FPa consumer
 //     carries an INT→FPa copy or duplicate; an FPa-side producer feeding an
@@ -87,7 +90,9 @@ func (p *Partition) Violations() []string {
 		if inFPa {
 			switch {
 			case n.Kind == KindLoadAddr || n.Kind == KindStoreAddr:
-				bad(id, "load/store address node assigned to FPa")
+				if g.Unpinned[id] == "" {
+					bad(id, "load/store address node assigned to FPa without an unpin justification")
+				}
 			case n.Kind == KindCall:
 				bad(id, "call node assigned to FPa")
 			case n.Kind == KindRet:
@@ -138,6 +143,30 @@ func (p *Partition) Violations() []string {
 					bad(id, "cross-partition edge to n%d under the basic scheme", c)
 				}
 			}
+		}
+	}
+
+	// 1b. Unpin hygiene: every recorded unpin must name an address node that
+	// was actually built flexible, and must carry a non-empty justification.
+	unpinIDs := make([]NodeID, 0, len(g.Unpinned))
+	for id := range g.Unpinned {
+		unpinIDs = append(unpinIDs, id)
+	}
+	sort.Slice(unpinIDs, func(i, j int) bool { return unpinIDs[i] < unpinIDs[j] })
+	for _, id := range unpinIDs {
+		if int(id) >= len(g.Nodes) {
+			out = append(out, fmt.Sprintf("n%d: unpin record for a node that does not exist", id))
+			continue
+		}
+		n := g.Nodes[id]
+		if n.Kind != KindLoadAddr && n.Kind != KindStoreAddr {
+			bad(id, "unpin record on a non-address node")
+		}
+		if n.Class != ClassFlex {
+			bad(id, "unpinned address node not built flexible")
+		}
+		if g.Unpinned[id] == "" {
+			bad(id, "unpin record with an empty justification")
 		}
 	}
 

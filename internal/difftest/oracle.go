@@ -61,6 +61,12 @@ type Options struct {
 	Timing bool
 	// Interproc adds the advanced+InterprocFPArgs scheme case.
 	Interproc bool
+	// Analysis adds the basic+analysis and advanced+analysis scheme cases:
+	// partitioning sharpened by the alias/value-range address oracle. The
+	// runs must still match the reference interpreter exactly (unpinning an
+	// address is only legal when it cannot change what the access touches),
+	// and the advanced+analysis profit must dominate basic+analysis.
+	Analysis bool
 	// CheckProfit enforces the cross-scheme cost-model dominance check:
 	// per function, the advanced scheme's accepted audit profit must be at
 	// least the basic scheme's.
@@ -82,7 +88,7 @@ type Options struct {
 
 // DefaultOptions enables every check.
 func DefaultOptions() Options {
-	return Options{Timing: true, Interproc: true, CheckProfit: true}
+	return Options{Timing: true, Interproc: true, CheckProfit: true, Analysis: true}
 }
 
 // Frontend runs parse → check → lower → optimize → verify without the
@@ -132,6 +138,12 @@ func (o *Options) cases() []schemeCase {
 			name: "advanced+interproc",
 			opts: codegen.Options{Scheme: codegen.SchemeAdvanced, Cost: o.Cost, InterprocFPArgs: true},
 		})
+	}
+	if o.Analysis {
+		cs = append(cs,
+			schemeCase{name: "basic+analysis", opts: codegen.Options{Scheme: codegen.SchemeBasic, Analysis: true}, time: true},
+			schemeCase{name: "advanced+analysis", opts: codegen.Options{Scheme: codegen.SchemeAdvanced, Cost: o.Cost, Analysis: true}},
+		)
 	}
 	return cs
 }
@@ -217,6 +229,11 @@ func Check(src string, o Options) error {
 		if err := checkProfitDominance(audits["basic"], audits["advanced"]); err != nil {
 			return err
 		}
+		if o.Analysis {
+			if err := checkProfitDominance(audits["basic+analysis"], audits["advanced+analysis"]); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -262,6 +279,10 @@ func checkPartitions(c schemeCase, res *codegen.Result, injected bool) error {
 			continue
 		}
 		if err := p.Validate(); err != nil {
+			return &Mismatch{Stage: "partition", Scheme: c.name,
+				Detail: fmt.Sprintf("%s: %v", fn, err)}
+		}
+		if err := core.VerifyPartition(p); err != nil {
 			return &Mismatch{Stage: "partition", Scheme: c.name,
 				Detail: fmt.Sprintf("%s: %v", fn, err)}
 		}

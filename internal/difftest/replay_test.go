@@ -4,15 +4,38 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// crasherOptions derives the oracle options a persisted reproducer was
+// found under: the `// analysis: on|off` header line (written by
+// WriteCrasher) selects whether the analysis-sharpened scheme cases run, so
+// analysis-dependent partitions reproduce exactly. Crashers predating the
+// header keep the default (analysis on) — a superset of the original cases.
+func crasherOptions(src string) Options {
+	o := DefaultOptions()
+	for _, line := range strings.Split(src, "\n") {
+		if !strings.HasPrefix(line, "//") {
+			break // header ends at the first non-comment line
+		}
+		switch strings.TrimSpace(strings.TrimPrefix(line, "//")) {
+		case "analysis: on":
+			o.Analysis = true
+		case "analysis: off":
+			o.Analysis = false
+		}
+	}
+	return o
+}
 
 // TestReplayCrashers re-runs every persisted reproducer under
 // testdata/crashers/ through the full oracle. Each file is a bug the fuzzer
 // once found and WriteCrasher persisted; replaying them pins the fixes so a
 // regression reopens as a test failure instead of waiting for the fuzzer to
 // rediscover the same seed. The leading //-comment header (seed, original
-// verdict) is ordinary mini-C comment syntax, so files run unmodified.
+// verdict, analysis mode) is ordinary mini-C comment syntax, so files run
+// unmodified.
 func TestReplayCrashers(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "crashers", "*.c"))
 	if err != nil {
@@ -28,7 +51,7 @@ func TestReplayCrashers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			err = Check(string(data), DefaultOptions())
+			err = Check(string(data), crasherOptions(string(data)))
 			if errors.Is(err, ErrSkip) {
 				t.Skipf("reference step budget exhausted: %v", err)
 			}

@@ -13,11 +13,14 @@ import (
 
 // Failure is one sweep failure: the seed, the full generated program, the
 // oracle's verdict, and (when reduction ran) the minimal reproducer.
+// Analysis records whether the sweep's oracle ran the analysis-sharpened
+// scheme cases, so a reduced crasher replays with the same partitions.
 type Failure struct {
-	Seed    int64
-	Src     string
-	Err     error
-	Reduced string // empty when reduction was skipped or did not apply
+	Seed     int64
+	Src      string
+	Err      error
+	Analysis bool
+	Reduced  string // empty when reduction was skipped or did not apply
 }
 
 // SweepResult summarizes a deterministic differential sweep.
@@ -44,7 +47,7 @@ func Sweep(seed int64, n int, gcfg GenConfig, o Options, reduce bool) SweepResul
 		if err == nil {
 			continue
 		}
-		f := Failure{Seed: s, Src: src, Err: err}
+		f := Failure{Seed: s, Src: src, Err: err, Analysis: o.Analysis}
 		if reduce {
 			f.Reduced = ReduceFailure(src, err, o)
 		}
@@ -90,6 +93,11 @@ func WriteCrasher(dir string, f Failure) (string, error) {
 	name := fmt.Sprintf("crasher-%x.c", sum[:6])
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "// fpifuzz reproducer (seed %d)\n", f.Seed)
+	analysisState := "off"
+	if f.Analysis {
+		analysisState = "on"
+	}
+	fmt.Fprintf(&sb, "// analysis: %s\n", analysisState)
 	for _, line := range strings.Split(strings.TrimRight(f.Err.Error(), "\n"), "\n") {
 		fmt.Fprintf(&sb, "// %s\n", line)
 	}

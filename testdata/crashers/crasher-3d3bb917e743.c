@@ -1,0 +1,62 @@
+// fpifuzz reproducer (seed 144)
+// analysis: on
+// range analysis hang: infeasible-edge refinement produced non-canonical
+// bottom intervals ([101..2] vs [101..0]) that the fixpoint loop saw as a
+// change on every join, so the worklist never drained
+int gacc;
+int garr0[16];
+float gfarr[8] = {1.5, 0.25};
+int h0(float p0, int p1) {
+for (int i1 = 0; i1 < 8; i1++) {
+print((p1 | p1));
+p1 |= ((i1 <= p1) || ((!(i1)) == i1));
+p1 ^= i1;
+}
+for (int i2 = 0; i2 < 12; i2++) {
+int v3 = (garr0[(p1) & 15] << 8);
+}
+return p1;
+}
+int main() {
+int x = 101;
+int y = 48;
+float fx = 2.5;
+gfarr[(y) & 7] = ((0.125 * fx) * (fx / 0.5));
+garr0[(x) & 15] = (((0 - y) << 2) ^ ((x >= -557) && (-226 > x)));
+int w4 = 0;
+while (w4 < 4) {
+w4++;
+if (w4 > x) {
+for (int i5 = 0; i5 < 10; i5++) {
+gfarr[((0 - i5)) & 7] = ((10.0 + fx) / ((w4 > 2) ? fx : fx));
+int d6 = 0;
+do {
+d6++;
+gacc += d6;
+} while (d6 < 3);
+gacc -= ((0 - 72) << 0);
+}
+} else {
+gfarr[((-919 * x)) & 7] = ((fx / fx) * ((w4 != 39) ? 3.5 : 0.5));
+}
+garr0[(((w4 != 49) ? w4 : x)) & 15] = y;
+}
+y = x;
+int w7 = 0;
+while (w7 < 4) {
+w7++;
+y = 821;
+}
+int w8 = 0;
+while (w8 < 5) {
+w8++;
+if (y >= 254) {
+fx -= (fx - ((1.25 + 0.5) + ((x < 52) ? fx : fx)));
+if (y < -793) { break; }
+}
+fx -= fx;
+}
+printf_(fx);
+print(gacc);
+return (gacc ^ x ^ y) & 1048575;
+}

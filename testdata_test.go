@@ -42,6 +42,8 @@ func TestTestdataPrograms(t *testing.T) {
 				{Scheme: codegen.SchemeAdvanced},
 				{Scheme: codegen.SchemeAdvanced, InterprocFPArgs: true},
 				{Scheme: codegen.SchemeBalanced, MaxFPaFraction: 0.3},
+				{Scheme: codegen.SchemeBasic, Analysis: true},
+				{Scheme: codegen.SchemeAdvanced, Analysis: true},
 			}
 			for _, opts := range optsList {
 				opts.Profile = prof
