@@ -8,10 +8,13 @@
 //	fpibench -table1 -table2 # static tables
 //	fpibench -json results.json  # machine-readable results ("-" for stdout)
 //	fpibench -baseline BENCH_BASELINE.json  # regression check against a prior -json report
+//	fpibench -write-baseline BENCH_BASELINE.json  # regenerate the checked-in baseline
 //	fpibench -faultsweep     # per-scheme fault-sensitivity sweep (both configs)
+//	fpibench -hostmetrics    # also print per-experiment host-side cost (wall, allocs, GC)
 //
 // Exit codes: 0 success, 1 usage error, 2 input error (e.g. an unreadable
-// baseline file), 3 an experiment failed or a cycle regression was found.
+// baseline file), 3 an experiment failed, 5 a -baseline comparison found a
+// cycle regression.
 package main
 
 import (
@@ -19,11 +22,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"fpint/internal/bench"
 	"fpint/internal/codegen"
 	"fpint/internal/faultinject"
 	"fpint/internal/fperr"
+	"fpint/internal/obs/hostmetrics"
 	"fpint/internal/uarch"
 )
 
@@ -54,6 +59,8 @@ func fpibenchMain() error {
 		faultRate     = flag.Float64("fault-rate", 0.001, "with -faultsweep: per-instruction fault probability")
 		faultSeed     = flag.Int64("fault-seed", 1, "with -faultsweep: fault plan seed")
 		analysisDelta = flag.Bool("analysis-delta", false, "static-analysis payoff: offload and cycles with the address oracle off vs on, both configurations")
+		writeBaseline = flag.String("write-baseline", "", "regenerate the checked-in cycle baseline: run the classic experiment set and write it as JSON to the given file")
+		hostMetrics   = flag.Bool("hostmetrics", false, "also print a per-experiment host-side cost table (wall time, allocations, GC)")
 	)
 	flag.Parse()
 	if *faultRate <= 0 || *faultRate > 1 {
@@ -64,11 +71,25 @@ func fpibenchMain() error {
 		// Baseline mode defaults to exactly the cycle-bearing experiments.
 		all, *fig9, *fig10, *fpprogs = false, true, true, true
 	}
+	if *writeBaseline != "" {
+		// The baseline is the classic experiment set BENCH_BASELINE.json
+		// carries, in its checked-in order — deterministic regeneration, no
+		// host-noise experiments.
+		all = false
+		*table1, *table2, *slices, *fig8, *fig9 = true, true, true, true, true
+		*fig10, *overheads, *loads, *imbalance, *fpprogs = true, true, true, true, true
+		*faultsw, *analysisDelta = false, false
+	}
 
-	c := &ctx{s: bench.NewSuite(), quiet: *jsonOut == "-"}
-	if *jsonOut != "" || *baseline != "" {
+	c := &ctx{s: bench.NewSuite(), quiet: *jsonOut == "-" || *writeBaseline != ""}
+	if *jsonOut != "" || *baseline != "" || *writeBaseline != "" {
 		c.rep = bench.NewReport()
 	}
+	type hostRow struct {
+		name   string
+		sample hostmetrics.Sample
+	}
+	var hostRows []hostRow
 	var runErr error
 	run := func(name string, f func(*ctx) error) {
 		if runErr != nil {
@@ -77,7 +98,12 @@ func fpibenchMain() error {
 		if !c.quiet {
 			fmt.Printf("\n================ %s ================\n", name)
 		}
-		if err := f(c); err != nil {
+		var err error
+		sample := hostmetrics.Measure(func() { err = f(c) })
+		if *hostMetrics {
+			hostRows = append(hostRows, hostRow{name, sample})
+		}
+		if err != nil {
 			runErr = fperr.Wrapf(fperr.ClassInternal, err, "%s", name)
 		}
 	}
@@ -125,10 +151,30 @@ func fpibenchMain() error {
 		return runErr
 	}
 
+	if *hostMetrics && !c.quiet {
+		fmt.Printf("\n================ host-side cost (self-metrics) ================\n")
+		var out [][]string
+		for _, r := range hostRows {
+			out = append(out, []string{r.name,
+				fmt.Sprintf("%v", time.Duration(r.sample.WallNS)),
+				fmt.Sprintf("%d", r.sample.Allocs),
+				fmt.Sprintf("%d", r.sample.Bytes),
+				fmt.Sprintf("%d", r.sample.GCCycles),
+				fmt.Sprintf("%v", time.Duration(r.sample.GCPauseNS))})
+		}
+		fmt.Print(bench.FormatTable([]string{"Experiment", "Wall", "Allocs", "Bytes", "GC", "GC pause"}, out))
+		fmt.Println("\nHost numbers measure this simulator process, not the modeled machine;\nthey are noisy — gate them with `fpistat gate`, never by eye.")
+	}
 	if c.rep != nil && *jsonOut != "" {
 		if err := writeTo(*jsonOut, c.rep.WriteJSON); err != nil {
 			return fperr.Wrap(fperr.ClassInput, err)
 		}
+	}
+	if *writeBaseline != "" {
+		if err := writeTo(*writeBaseline, c.rep.WriteJSON); err != nil {
+			return fperr.Wrap(fperr.ClassInput, err)
+		}
+		fmt.Printf("wrote %d experiments to %s\n", len(c.rep.Experiments), *writeBaseline)
 	}
 	if *baseline != "" {
 		if err := compareBaseline(c.rep, *baseline, *tolerance); err != nil {
@@ -220,7 +266,7 @@ func compareBaseline(rep *bench.Report, path string, tolerance float64) error {
 			d.Key.Experiment, d.Key.Workload, d.Key.Field, d.Old, d.New, d.Pct())
 	}
 	if reg := bench.Regressions(deltas, tolerance); len(reg) > 0 {
-		return fmt.Errorf("%d cycle regression(s) beyond %.1f%% tolerance", len(reg), tolerance)
+		return fperr.New(fperr.ClassRegression, "%d cycle regression(s) beyond %.1f%% tolerance", len(reg), tolerance)
 	}
 	fmt.Printf("no regressions beyond %.1f%% tolerance (%d metrics compared)\n", tolerance, len(deltas))
 	return nil
@@ -421,32 +467,17 @@ func printImbalance(c *ctx) error {
 }
 
 func printFpProgs(c *ctx) error {
-	ws := bench.FpWorkloads()
-	parts, err := c.s.FigurePartitionSizes(ws)
+	rows, err := c.s.FPProgramRows()
 	if err != nil {
 		return err
 	}
-	speeds, err := c.s.FigureSpeedups(ws, uarch.Config4Way())
-	if err != nil {
-		return err
-	}
-	type row struct {
-		Workload   string  `json:"workload"`
-		OffloadPct float64 `json:"offloadPct"`
-		SpeedupPct float64 `json:"speedupPct"`
-		BaseCycles int64   `json:"baseCycles"`
-		AdvCycles  int64   `json:"advCycles"`
-	}
-	var jrows []row
 	var out [][]string
-	for i := range parts {
-		jrows = append(jrows, row{parts[i].Workload, parts[i].AdvancedPct,
-			speeds[i].AdvancedPct, speeds[i].BaseCycles, speeds[i].AdvCycles})
-		out = append(out, []string{parts[i].Workload,
-			fmt.Sprintf("%5.1f%%", parts[i].AdvancedPct),
-			fmt.Sprintf("%+5.1f%%", speeds[i].AdvancedPct)})
+	for _, r := range rows {
+		out = append(out, []string{r.Workload,
+			fmt.Sprintf("%5.1f%%", r.OffloadPct),
+			fmt.Sprintf("%+5.1f%%", r.SpeedupPct)})
 	}
-	c.record("fp_programs", "§7.5", jrows)
+	c.record("fp_programs", "§7.5", rows)
 	c.table([]string{"Benchmark", "Advanced offload", "Advanced speedup (4-way)"}, out)
 	c.note("\nPaper: FP programs ~neutral, except ear: 18%% offload and 18%% speedup.")
 	return nil

@@ -13,6 +13,7 @@
 //	fpisim -folded out.folded file.c       # flamegraph folded stacks
 //	fpisim -pprof out.pb.gz file.c         # pprof protobuf profile
 //	fpisim -inject-fault seed=1,kind=any,rate=0.001 file.c  # fault injection
+//	fpisim -timing -hostmetrics file.c     # simulator's own host-side cost
 //
 // Fault injection (-inject-fault, implies -timing) drives the seeded
 // transient-fault model of internal/faultinject: same seed, same program ⇒
@@ -37,6 +38,7 @@ import (
 	"fpint/internal/faultinject"
 	"fpint/internal/fperr"
 	"fpint/internal/obs"
+	"fpint/internal/obs/hostmetrics"
 	"fpint/internal/obs/profile"
 	"fpint/internal/sim"
 	"fpint/internal/uarch"
@@ -69,6 +71,7 @@ func fpisimMain() error {
 		pprofOut     = flag.String("pprof", "", "write a gzipped pprof protobuf profile to the given file (implies -timing)")
 		injectSpec   = flag.String("inject-fault", "", "inject transient faults: \"seed=N,kind=K,rate=R\" (implies -timing)")
 		faultTrace   = flag.Bool("fault-trace", false, "with -inject-fault: print the deterministic fault trace")
+		hostMetrics  = flag.Bool("hostmetrics", false, "measure the simulator's own host-side cost (wall time, allocations, GC) around the run")
 	)
 	flag.Parse()
 
@@ -149,6 +152,7 @@ func fpisimMain() error {
 		profile: *profileOut, annotate: *annotate,
 		foldedOut: *foldedOut, pprofOut: *pprofOut,
 		srcName: srcName, faultCfg: faultCfg, faultTrace: *faultTrace,
+		hostMetrics: *hostMetrics,
 	}
 	if rc.wantProfile() || rc.faultCfg != nil {
 		rc.timing = true // attribution and fault injection need the cycle-level model
@@ -158,19 +162,20 @@ func fpisimMain() error {
 }
 
 type runConfig struct {
-	cfg        uarch.Config
-	timing     bool
-	pipetrace  int
-	traceJSON  string
-	jsonOut    string
-	csvOut     string
-	profile    bool
-	annotate   bool
-	foldedOut  string
-	pprofOut   string
-	srcName    string
-	faultCfg   *faultinject.Config
-	faultTrace bool
+	cfg         uarch.Config
+	timing      bool
+	pipetrace   int
+	traceJSON   string
+	jsonOut     string
+	csvOut      string
+	profile     bool
+	annotate    bool
+	foldedOut   string
+	pprofOut    string
+	srcName     string
+	faultCfg    *faultinject.Config
+	faultTrace  bool
+	hostMetrics bool
 }
 
 // wantProfile reports whether any output needs per-PC cycle attribution.
@@ -218,13 +223,26 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		}
 		m.Trace = p.Feed
 	}
-	out, err := m.Run()
-	if err != nil {
-		return 0, 0, fperr.Wrap(fperr.ClassInput, err)
-	}
+	// The measured region is the simulation proper — functional run plus
+	// timing-model drain — excluding compilation and report rendering, so
+	// the numbers match what the run-record store gates on.
+	var out *sim.Result
 	var st uarch.Stats
-	if rc.timing {
-		st = p.Finish()
+	var runErr error
+	simulate := func() {
+		out, runErr = m.Run()
+		if runErr == nil && rc.timing {
+			st = p.Finish()
+		}
+	}
+	var hostSample hostmetrics.Sample
+	if rc.hostMetrics {
+		hostSample = hostmetrics.Measure(simulate)
+	} else {
+		simulate()
+	}
+	if runErr != nil {
+		return 0, 0, fperr.Wrap(fperr.ClassInput, runErr)
 	}
 
 	if journal != nil && rc.traceJSON != "" {
@@ -269,6 +287,12 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		if rc.timing {
 			st.AddTo(reg, obs.PrefixUarch)
 		}
+		if rc.hostMetrics {
+			hostSample.AddTo(reg, obs.PrefixHost)
+			if rc.timing {
+				reg.Gauge(obs.PrefixHost + obs.MetricHostSimsPerSec).Set(hostmetrics.SimsPerSec(st.Cycles, hostSample.WallNS))
+			}
+		}
 		if rc.jsonOut != "" {
 			if err := writeTo(rc.jsonOut, reg.WriteJSON); err != nil {
 				return 0, 0, fperr.Wrap(fperr.ClassInput, err)
@@ -289,6 +313,9 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		fmt.Printf("; exit=%d dynamic=%d offload=%.1f%% (INT=%d FP=%d FPa=%d)\n",
 			out.Ret, out.Stats.Total, 100*out.Stats.OffloadFraction(),
 			out.Stats.BySubsys[0], out.Stats.BySubsys[1], out.Stats.BySubsys[2])
+		if rc.hostMetrics {
+			fmt.Printf("; host: %s\n", hostSample)
+		}
 		return 0, out.Stats.OffloadFraction(), res.DegradedError()
 	}
 	if journal != nil && rc.pipetrace > 0 {
@@ -303,6 +330,10 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		float64(st.IntIdleFPaBusy)/float64(max64(st.Cycles, 1)))
 	fmt.Printf(";   issue-active=%d stall=%d (accounting error=%d)\n",
 		st.IssueActiveCycles, st.TotalStallCycles(), st.StallAccountingError())
+	if rc.hostMetrics {
+		fmt.Printf(";   host: %s sims/sec=%.3g\n",
+			hostSample, hostmetrics.SimsPerSec(st.Cycles, hostSample.WallNS))
+	}
 	if plan != nil {
 		printFaultReport(plan, st)
 		if rc.faultTrace {

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpint/internal/analysis"
+	"fpint/internal/bench"
+	"fpint/internal/codegen"
+	"fpint/internal/fperr"
+	"fpint/internal/obs/hostmetrics"
+	"fpint/internal/obs/runstore"
+	"fpint/internal/uarch"
+)
+
+// cmdRecord measures programs and appends run records to the store. Three
+// sources of records:
+//
+//   - source files on the command line: each is compiled under the
+//     requested scheme and run on both Table 1 machine configurations,
+//     -repeat times, so every record carries repeated host samples for the
+//     gate's noise estimators;
+//   - -suite: the bench workload suite, through the same Suite machinery
+//     fpibench uses;
+//   - -gobench FILE: `go test -bench -benchmem` output, imported as
+//     host-metrics-only records (the testing.B benchmarks in
+//     internal/uarch and internal/codegen are the intended feed).
+func cmdRecord(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fpistat record", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var (
+		storePath    = fs.String("store", defaultStore, "append-only run-record store (JSONL)")
+		schemeName   = fs.String("scheme", "advanced", "partitioning scheme: none, basic, advanced")
+		analysisMode = fs.String("analysis", "on", "consult the alias/value-range analyses: on or off")
+		repeat       = fs.Int("repeat", 3, "timed runs per record (host samples for min/median noise estimation)")
+		rev          = fs.String("rev", "", "revision to stamp records with (default: resolved from .git)")
+		label        = fs.String("label", "", "free-form annotation (excluded from the content hash)")
+		suite        = fs.Bool("suite", false, "record the bench workload suite instead of source files")
+		gobench      = fs.String("gobench", "", "import `go test -bench` output from the given file (\"-\" for stdin)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return fperr.Wrap(fperr.ClassUsage, err)
+	}
+	if *repeat < 1 {
+		return fperr.New(fperr.ClassUsage, "-repeat must be at least 1")
+	}
+	schemes := map[string]codegen.Scheme{
+		"none": codegen.SchemeNone, "basic": codegen.SchemeBasic, "advanced": codegen.SchemeAdvanced,
+	}
+	sch, ok := schemes[*schemeName]
+	if !ok {
+		return fperr.New(fperr.ClassUsage, "unknown scheme %q", *schemeName)
+	}
+	useAnalysis, err := analysis.ParseOnOff(*analysisMode)
+	if err != nil {
+		return fperr.Wrap(fperr.ClassUsage, err)
+	}
+	if *rev == "" {
+		*rev = runstore.GitRevision(".")
+	}
+	if !*suite && *gobench == "" && fs.NArg() == 0 {
+		return fperr.New(fperr.ClassUsage, "nothing to record: give source files, -suite, or -gobench FILE")
+	}
+
+	store := runstore.Open(*storePath)
+	now := time.Now().UTC().Format(time.RFC3339)
+	var recs []runstore.Record
+
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return fperr.Wrap(fperr.ClassInput, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(file), ".c")
+		for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+			guest, host, err := bench.MeasureSource(name, string(src), sch, useAnalysis, cfg, *repeat)
+			if err != nil {
+				return fperr.Wrap(fperr.ClassInput, err)
+			}
+			recs = append(recs, runstore.Record{
+				Kind: runstore.KindSim, Rev: *rev, Program: name,
+				SourceSHA: runstore.SourceHash(src),
+				Config:    cfg.Name, Scheme: sch.String(), Analysis: useAnalysis,
+				Guest: guest, Host: host, CreatedAt: now, Label: *label,
+			})
+		}
+	}
+
+	if *suite {
+		s := bench.NewSuite()
+		for _, w := range bench.IntWorkloads() {
+			w := w
+			for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+				rec, err := recordSuiteWorkload(s, &w, sch, cfg, *repeat)
+				if err != nil {
+					return fperr.Wrap(fperr.ClassInternal, err)
+				}
+				rec.Rev, rec.CreatedAt, rec.Label = *rev, now, *label
+				recs = append(recs, rec)
+			}
+		}
+	}
+
+	if *gobench != "" {
+		gb, err := readGoBench(*gobench)
+		if err != nil {
+			return err
+		}
+		for i := range gb {
+			gb[i].Rev, gb[i].CreatedAt, gb[i].Label = *rev, now, *label
+		}
+		recs = append(recs, gb...)
+	}
+
+	for i := range recs {
+		recs[i].Seal()
+	}
+	if err := store.Append(recs...); err != nil {
+		return fperr.Wrap(fperr.ClassInternal, err)
+	}
+	for i := range recs {
+		r := &recs[i]
+		line := fmt.Sprintf("recorded %s %s rev=%s", r.ShortHash(), r.Key(), r.Rev)
+		if r.Kind == runstore.KindSim {
+			line += fmt.Sprintf(" cycles=%d", r.Guest.Cycles)
+		}
+		if r.Host != nil {
+			line += fmt.Sprintf(" wall=%s", time.Duration(r.Host.MinWallNS()))
+			if r.Kind == runstore.KindSim {
+				line += fmt.Sprintf(" sims/sec=%.3g", r.Host.SimsPerSec(r.Guest.Cycles))
+			}
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	fmt.Fprintf(stdout, "%d record(s) appended to %s\n", len(recs), *storePath)
+	return nil
+}
+
+// recordSuiteWorkload measures one bench workload on one config, repeat
+// times, collecting the per-run host sample Suite.Measure captures around
+// the timed run. The guest block must be identical across repeats — the
+// simulator is deterministic — and a disagreement is an internal error.
+func recordSuiteWorkload(s *bench.Suite, w *bench.Workload, sch codegen.Scheme, cfg uarch.Config, repeat int) (runstore.Record, error) {
+	host := &runstore.Host{Env: hostmetrics.CurrentEnv()}
+	var guest runstore.Guest
+	for i := 0; i < repeat; i++ {
+		m, err := s.Measure(w, sch, cfg)
+		if err != nil {
+			return runstore.Record{}, err
+		}
+		g := bench.GuestFromMeasurement(m)
+		if i == 0 {
+			guest = g
+		} else if g.Cycles != guest.Cycles || g.DynInstrs != guest.DynInstrs {
+			return runstore.Record{}, fmt.Errorf("%s/%s/%s: nondeterministic run: repeat %d gave %d cycles, first gave %d",
+				w.Name, sch, cfg.Name, i+1, g.Cycles, guest.Cycles)
+		}
+		if m.Host != nil {
+			host.Samples = append(host.Samples, *m.Host)
+		}
+	}
+	return runstore.Record{
+		Kind: runstore.KindSim, Program: w.Name,
+		SourceSHA: runstore.SourceHash([]byte(w.Src)),
+		Config:    cfg.Name, Scheme: sch.String(),
+		Guest: guest, Host: host,
+	}, nil
+}
+
+// goBenchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkPipelineLoop/4way-8   12   98765432 ns/op   120 B/op   3 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped from the name; B/op and allocs/op
+// are optional (-benchmem).
+var goBenchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+// readGoBench parses benchmark result lines into host-metrics-only records.
+func readGoBench(path string) ([]runstore.Record, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fperr.Wrap(fperr.ClassInput, err)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := parseGoBench(r)
+	if err != nil {
+		return nil, fperr.Wrap(fperr.ClassInput, err)
+	}
+	if len(recs) == 0 {
+		return nil, fperr.New(fperr.ClassInput, "%s: no benchmark result lines found", path)
+	}
+	return recs, nil
+}
+
+// parseGoBench extracts one record per benchmark line. Multiple lines for
+// the same benchmark (repeated -count runs) merge into one record with one
+// host sample each, which is exactly what the gate's min/median estimators
+// want.
+func parseGoBench(r io.Reader) ([]runstore.Record, error) {
+	env := hostmetrics.CurrentEnv()
+	byName := make(map[string]*runstore.Record)
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := goBenchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		nsOp, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		sample := hostmetrics.Sample{WallNS: int64(nsOp)}
+		if m[3] != "" {
+			b, _ := strconv.ParseUint(m[3], 10, 64)
+			sample.Bytes = b
+		}
+		if m[4] != "" {
+			a, _ := strconv.ParseUint(m[4], 10, 64)
+			sample.Allocs = a
+		}
+		rec, ok := byName[name]
+		if !ok {
+			rec = &runstore.Record{
+				Kind: runstore.KindGoBench, Program: name,
+				Config: "host", Scheme: "go",
+				Host: &runstore.Host{Env: env},
+			}
+			byName[name] = rec
+			order = append(order, name)
+		}
+		rec.Host.Samples = append(rec.Host.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]runstore.Record, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import "fpint/internal/uarch"
+
+// The cycle-bearing experiment set: the three experiments whose rows carry
+// absolute cycle counts (Figures 9/10 and the §7.5 FP programs). Both
+// `fpibench -baseline` and `fpistat gate -bench-baseline` regenerate
+// exactly this set to compare against a checked-in BENCH_BASELINE.json;
+// keeping the construction here stops the two CLIs' notions of "the
+// baseline-relevant experiments" from drifting apart.
+
+// FPProgramRow is one §7.5 row: the advanced scheme applied to a
+// floating-point program.
+type FPProgramRow struct {
+	Workload   string  `json:"workload"`
+	OffloadPct float64 `json:"offloadPct"`
+	SpeedupPct float64 `json:"speedupPct"`
+	BaseCycles int64   `json:"baseCycles"`
+	AdvCycles  int64   `json:"advCycles"`
+}
+
+// FPProgramRows computes the §7.5 rows: advanced-scheme offload and
+// speedup for the FP programs on the 4-way machine.
+func (s *Suite) FPProgramRows() ([]FPProgramRow, error) {
+	ws := FpWorkloads()
+	parts, err := s.FigurePartitionSizes(ws)
+	if err != nil {
+		return nil, err
+	}
+	speeds, err := s.FigureSpeedups(ws, uarch.Config4Way())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FPProgramRow, len(parts))
+	for i := range parts {
+		rows[i] = FPProgramRow{
+			Workload:   parts[i].Workload,
+			OffloadPct: parts[i].AdvancedPct,
+			SpeedupPct: speeds[i].AdvancedPct,
+			BaseCycles: speeds[i].BaseCycles,
+			AdvCycles:  speeds[i].AdvCycles,
+		}
+	}
+	return rows, nil
+}
+
+// CycleReport runs the cycle-bearing experiments and returns them as a
+// report whose experiment names and row shapes match what fpibench emits,
+// so LoadBaselineCycles finds the same (experiment, workload, field) keys
+// in both.
+func CycleReport(s *Suite) (*Report, error) {
+	rep := NewReport()
+	rows9, err := s.FigureSpeedups(IntWorkloads(), uarch.Config4Way())
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("fig9_speedups_4way", "§7.1/Fig. 9", rows9)
+	rows10, err := s.FigureSpeedups(IntWorkloads(), uarch.Config8Way())
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("fig10_speedups_8way", "§7.4/Fig. 10", rows10)
+	fp, err := s.FPProgramRows()
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("fp_programs", "§7.5", fp)
+	return rep, nil
+}

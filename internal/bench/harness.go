@@ -11,6 +11,7 @@ import (
 	"fpint/internal/interp"
 	"fpint/internal/ir"
 	"fpint/internal/isa"
+	"fpint/internal/obs/hostmetrics"
 	"fpint/internal/sim"
 	"fpint/internal/uarch"
 )
@@ -42,6 +43,12 @@ type Measurement struct {
 	Stalls map[string]int64
 	// StallsBySub maps "<subsystem>.<cause>" → cycles.
 	StallsBySub map[string]int64
+
+	// Host is the Go-level cost of the timing-model run that produced this
+	// measurement (wall time, allocations, GC). It is nondeterministic and
+	// never serialized into reports — consumers that want it (fpibench
+	// -hostmetrics, fpistat record -suite) read it explicitly.
+	Host *hostmetrics.Sample
 }
 
 // Suite compiles and runs workloads, caching frontend results (the IR and
@@ -105,7 +112,11 @@ func (s *Suite) Measure(w *Workload, scheme codegen.Scheme, cfg uarch.Config) (*
 	if err != nil {
 		return nil, err
 	}
-	out, st, err := uarch.Run(res.Prog, cfg)
+	var out *sim.Result
+	var st uarch.Stats
+	hostSample := hostmetrics.Measure(func() {
+		out, st, err = uarch.Run(res.Prog, cfg)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", w.Name, scheme, err)
 	}
@@ -134,6 +145,7 @@ func (s *Suite) Measure(w *Workload, scheme codegen.Scheme, cfg uarch.Config) (*
 	if st.Cycles > 0 {
 		m.IntIdleFPaBusyFrac = float64(st.IntIdleFPaBusy) / float64(st.Cycles)
 	}
+	m.Host = &hostSample
 	m.IssueActiveCycles = st.IssueActiveCycles
 	m.Stalls = make(map[string]int64)
 	m.StallsBySub = make(map[string]int64)

@@ -1,0 +1,70 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"fpint/internal/codegen"
+)
+
+// benchSrc exercises the backend's expensive paths: several functions, an
+// address-heavy loop the analyses can unpin, and enough live values to
+// make register allocation work.
+const benchSrc = `
+int a[256];
+int b[256];
+
+int mix(int x, int y) {
+	return (x * 31 + y) ^ (x >> 3);
+}
+
+int fill(int seed) {
+	int s = seed;
+	for (int i = 0; i < 256; i++) {
+		a[i] = mix(s, i);
+		b[i] = a[i] ^ (i << 2);
+		s = s + b[i];
+	}
+	return s;
+}
+
+int main() {
+	int acc = 0;
+	for (int rep = 0; rep < 4; rep++) {
+		acc = acc + fill(rep);
+		for (int i = 0; i < 256; i++) acc = acc + a[i] * b[i];
+	}
+	return acc & 1048575;
+}`
+
+// BenchmarkCodegenHotPath times the backend proper — partitioning,
+// instruction selection, register allocation — with the frontend run once
+// outside the loop, under both the basic and analysis-sharpened advanced
+// schemes. Run with -benchmem and feed the output to `fpistat record
+// -gobench` to track compile-time cost in the run-record store.
+func BenchmarkCodegenHotPath(b *testing.B) {
+	mod, prof, err := codegen.FrontendPipeline(benchSrc)
+	if err != nil {
+		b.Fatalf("frontend: %v", err)
+	}
+	schemes := []struct {
+		name     string
+		scheme   codegen.Scheme
+		analysis bool
+	}{
+		{"basic", codegen.SchemeBasic, false},
+		{"advanced_analysis", codegen.SchemeAdvanced, true},
+	}
+	for _, s := range schemes {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codegen.Compile(mod, codegen.Options{
+					Scheme: s.scheme, Profile: prof, Analysis: s.analysis,
+				}); err != nil {
+					b.Fatalf("compile: %v", err)
+				}
+			}
+		})
+	}
+}

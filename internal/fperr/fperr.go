@@ -10,6 +10,9 @@
 //	3  internal error     (toolchain bug: invalid partition, codegen panic, ...)
 //	4  degraded-but-succeeded (a compile fell down the degradation ladder
 //	   but still produced a correct program)
+//	5  performance regression (a gate comparison found guest cycles or host
+//	   metrics worse than the baseline beyond tolerance; the code is
+//	   functionally correct)
 //
 // Errors carry their class through wrapping, so deep layers can classify
 // once (e.g. the partition verifier tags its report as internal) and the
@@ -41,14 +44,20 @@ const (
 	// degradation ladder (exit 4). The output is correct; the class exists
 	// so scripts can detect silent scheme downgrades.
 	ClassDegraded
+	// ClassRegression: a performance gate found the current run worse than
+	// its baseline beyond tolerance (exit 5). Everything is functionally
+	// correct — the distinct class lets CI tell "the change is slow" apart
+	// from "the toolchain is broken".
+	ClassRegression
 )
 
 var classNames = [...]string{
-	ClassNone:     "none",
-	ClassUsage:    "usage",
-	ClassInput:    "input",
-	ClassInternal: "internal",
-	ClassDegraded: "degraded",
+	ClassNone:       "none",
+	ClassUsage:      "usage",
+	ClassInput:      "input",
+	ClassInternal:   "internal",
+	ClassDegraded:   "degraded",
+	ClassRegression: "regression",
 }
 
 // String names the class.
@@ -130,6 +139,8 @@ func ExitCode(err error) int {
 		return 3
 	case ClassDegraded:
 		return 4
+	case ClassRegression:
+		return 5
 	}
 	return 3
 }

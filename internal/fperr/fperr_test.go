@@ -16,6 +16,7 @@ func TestExitCodes(t *testing.T) {
 		{New(ClassInput, "bad program"), 2},
 		{New(ClassInternal, "bug"), 3},
 		{New(ClassDegraded, "fell back"), 4},
+		{New(ClassRegression, "cycles regressed"), 5},
 		{errors.New("unclassified"), 3},
 	}
 	for _, c := range cases {
@@ -52,7 +53,7 @@ func TestWrapKeepsInnermostClass(t *testing.T) {
 }
 
 func TestClassString(t *testing.T) {
-	if ClassDegraded.String() != "degraded" || Class(99).String() != "class-99" {
+	if ClassDegraded.String() != "degraded" || ClassRegression.String() != "regression" || Class(99).String() != "class-99" {
 		t.Fatal("class names wrong")
 	}
 }

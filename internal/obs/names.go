@@ -32,4 +32,21 @@ const (
 	// partitioner moved to the augmented FP subsystem — the paper's
 	// headline per-run number.
 	MetricOffloadFraction = "offload_fraction"
+
+	// PrefixHost namespaces the simulator's own Go-level cost (see
+	// internal/obs/hostmetrics). Host metrics are nondeterministic by
+	// nature and are only exported on explicit request (-hostmetrics) so
+	// the default metric documents stay byte-stable.
+	PrefixHost = "host."
+
+	// Host-side self-metric names: wall time and allocation/GC deltas
+	// around the simulated region, as measured by hostmetrics.Measure.
+	MetricHostWallNS    = "wall_ns"
+	MetricHostAllocs    = "allocs"
+	MetricHostBytes     = "bytes"
+	MetricHostGCPauseNS = "gc_pause_ns"
+	MetricHostGCCycles  = "gc_cycles"
+	// MetricHostSimsPerSec is simulated cycles per host second — the
+	// simulator-throughput headline the ROADMAP's speed work tracks.
+	MetricHostSimsPerSec = "sims_per_sec"
 )

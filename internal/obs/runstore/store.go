@@ -1,0 +1,191 @@
+package runstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is an append-only JSONL run-record log on disk. Concurrent
+// appenders are safe at the OS level (O_APPEND writes of single lines);
+// readers see a prefix of the log.
+type Store struct {
+	Path string
+}
+
+// Open returns a handle on the store at path. The file need not exist yet;
+// the first Append creates it (and its directory).
+func Open(path string) *Store { return &Store{Path: path} }
+
+// Append seals (if necessary) and appends records to the log. Records with
+// an empty Hash are sealed in place; records carrying a hash are verified
+// first, so a caller cannot append a record that lies about its content.
+func (s *Store) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for i := range recs {
+		r := &recs[i]
+		if r.Hash == "" {
+			r.Seal()
+		} else if !r.VerifyHash() {
+			return fmt.Errorf("runstore: record %s/%s: hash does not match content", r.Program, r.Config)
+		}
+		line, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("runstore: encode record: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if dir := filepath.Dir(s.Path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("runstore: %w", err)
+		}
+	}
+	f, err := os.OpenFile(s.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("runstore: append: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads every record in the log, assigns Seq in append order, and
+// verifies each record's content hash — a store is content-addressed, so a
+// line whose hash does not match its content is corruption, not data.
+// A missing file is an empty store.
+func (s *Store) Load() ([]Record, error) {
+	f, err := os.Open(s.Path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	defer f.Close()
+	recs, err := LoadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %s: %w", s.Path, err)
+	}
+	return recs, nil
+}
+
+// LoadFrom parses a JSONL record stream, verifying schemas and hashes.
+func LoadFrom(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if rec.Schema != Schema {
+			return nil, fmt.Errorf("line %d: schema %q, want %q", lineNo, rec.Schema, Schema)
+		}
+		if !rec.VerifyHash() {
+			return nil, fmt.Errorf("line %d: content hash mismatch (stored %s, computed %s) — store corrupted or hand-edited",
+				lineNo, rec.Hash, rec.ComputeHash())
+		}
+		rec.Seq = len(out)
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GitRevision resolves the current git revision of the repository
+// containing dir, without invoking git: it walks up to the nearest .git,
+// reads HEAD, and follows one level of symbolic ref (loose ref file first,
+// then packed-refs). Returns "unknown" when no revision can be determined —
+// records must still be writable from an exported tarball.
+func GitRevision(dir string) string {
+	gitDir := findGitDir(dir)
+	if gitDir == "" {
+		return "unknown"
+	}
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return "unknown"
+	}
+	h := strings.TrimSpace(string(head))
+	if !strings.HasPrefix(h, "ref: ") {
+		return shortRev(h) // detached HEAD: the hash itself
+	}
+	ref := strings.TrimSpace(strings.TrimPrefix(h, "ref: "))
+	if data, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return shortRev(strings.TrimSpace(string(data)))
+	}
+	if data, err := os.ReadFile(filepath.Join(gitDir, "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 && fields[1] == ref {
+				return shortRev(fields[0])
+			}
+		}
+	}
+	return "unknown"
+}
+
+// findGitDir walks from dir upward looking for a .git directory (or a
+// gitfile pointing at one, as in worktrees).
+func findGitDir(dir string) string {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		cand := filepath.Join(d, ".git")
+		if fi, err := os.Stat(cand); err == nil {
+			if fi.IsDir() {
+				return cand
+			}
+			// Worktree gitfile: "gitdir: <path>".
+			if data, err := os.ReadFile(cand); err == nil {
+				line := strings.TrimSpace(string(data))
+				if strings.HasPrefix(line, "gitdir: ") {
+					p := strings.TrimPrefix(line, "gitdir: ")
+					if !filepath.IsAbs(p) {
+						p = filepath.Join(d, p)
+					}
+					return p
+				}
+			}
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+// shortRev abbreviates a 40-hex revision to 12 digits for the envelope;
+// trend tables stay readable and 12 digits never collide at repo scale.
+func shortRev(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	return rev
+}

@@ -1,0 +1,31 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/uarch"
+)
+
+// BenchmarkPipelineLoop times the uarch simulator's main pipeline loop on
+// both Table 1 machine configurations, driving the same integer loop the
+// timing sanity tests use. Run with -benchmem and feed the output to
+// `fpistat record -gobench` to track the simulator's host-side cost in the
+// run-record store.
+func BenchmarkPipelineLoop(b *testing.B) {
+	res, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced, Analysis: true})
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := uarch.Run(res.Prog, cfg); err != nil {
+					b.Fatalf("run: %v", err)
+				}
+			}
+		})
+	}
+}
