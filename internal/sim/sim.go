@@ -8,7 +8,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"strings"
+	"strconv"
 
 	"fpint/internal/isa"
 	"fpint/internal/trap"
@@ -64,7 +64,19 @@ type Result struct {
 	Stats  Stats
 }
 
-// Machine is the functional simulator state.
+// Memory is cleared between runs page by page; only pages dirtied by a
+// store (or the data-segment init) are touched, so resetting a machine
+// costs proportional to the memory the previous program actually wrote,
+// not to the 16 MiB arena.
+const (
+	memPageShift = 12 // 4 KiB pages
+	numMemPages  = MemSize >> memPageShift
+)
+
+// Machine is the functional simulator state. A machine is reusable: build
+// one with NewMachine, then Reset it onto successive programs — the memory
+// arena, output buffer, statistics map, and Result are allocated once and
+// recycled, so a warm machine runs without heap traffic.
 type Machine struct {
 	prog *isa.Program
 
@@ -72,23 +84,64 @@ type Machine struct {
 	F  [32]uint64 // FP registers (raw 64-bit patterns)
 	PC int
 
-	mem []byte
-	out strings.Builder
+	mem   []byte
+	dirty []bool // per-page store tracking for cheap Reset
+	out   []byte
 
 	maxSteps int64
 
-	// Trace receives every committed instruction when non-nil.
+	// res is the machine-owned Result returned by Run; it is overwritten by
+	// the next Reset/Run of this machine.
+	res *Result
+
+	// Trace receives every committed instruction when non-nil. Reset
+	// preserves the callback.
 	Trace func(Event)
+}
+
+// NewMachine builds an unbound machine. Call Reset to load a program.
+func NewMachine() *Machine {
+	return &Machine{
+		mem:      make([]byte, MemSize),
+		dirty:    make([]bool, numMemPages),
+		res:      &Result{Stats: Stats{ByOp: make(map[isa.Opcode]int64)}},
+		maxSteps: 4_000_000_000,
+	}
 }
 
 // New builds a machine with the program's data segment initialized.
 func New(prog *isa.Program) *Machine {
-	m := &Machine{prog: prog, mem: make([]byte, MemSize), maxSteps: 4_000_000_000}
+	m := NewMachine()
+	m.Reset(prog)
+	return m
+}
+
+// Reset rebinds the machine to prog and restores the power-on state:
+// dirtied memory pages are zeroed, registers and statistics cleared, the
+// data segment re-initialized, and the step limit restored to its default.
+// The Trace callback is preserved. The Result returned by a previous Run
+// (including its Stats.ByOp map and Output) is invalidated.
+func (m *Machine) Reset(prog *isa.Program) {
+	for page, d := range m.dirty {
+		if d {
+			lo := page << memPageShift
+			clear(m.mem[lo : lo+(1<<memPageShift)])
+			m.dirty[page] = false
+		}
+	}
+	m.prog = prog
+	m.R = [32]int64{}
+	m.F = [32]uint64{}
+	m.PC = 0
+	m.out = m.out[:0]
+	m.maxSteps = 4_000_000_000
+	byOp := m.res.Stats.ByOp
+	clear(byOp)
+	*m.res = Result{Stats: Stats{ByOp: byOp}}
 	for addr, w := range prog.DataWords {
 		m.storeWord(addr, w)
 	}
 	m.R[isa.RegSP] = MemSize - 64
-	return m
 }
 
 // SetStepLimit bounds the dynamic instruction count.
@@ -98,6 +151,8 @@ func (m *Machine) storeWord(addr int64, w uint64) {
 	for i := 0; i < 8; i++ {
 		m.mem[addr+int64(i)] = byte(w >> (8 * uint(i)))
 	}
+	m.dirty[addr>>memPageShift] = true
+	m.dirty[(addr+7)>>memPageShift] = true
 }
 
 func (m *Machine) loadWord(addr int64) uint64 {
@@ -116,64 +171,74 @@ func (m *Machine) ReadGlobalInt(name string, idx int64) int64 {
 const noRegEnc = int16(-1)
 
 // Run executes the program from the start stub until HALT.
+//
+// The returned Result is owned by the machine and remains valid only until
+// the machine's next Reset (fresh machines built with New are unaffected).
 func (m *Machine) Run() (*Result, error) {
-	st := Stats{ByOp: make(map[isa.Opcode]int64)}
+	st := &m.res.Stats
 	insts := m.prog.Insts
 	var steps int64
+
+	// Helpers are hoisted out of the interpreter loop so the steady state
+	// performs no per-instruction work beyond the dispatch itself; they
+	// close over ev/in, which the loop re-points each iteration.
+	var ev Event
+	var in *isa.Inst
+	ir := func(n uint8) int64 { return m.R[n] }
+	fr := func(n uint8) uint64 { return m.F[n] }
+	fi := func(n uint8) int64 { return int64(m.F[n]) }
+	ff := func(n uint8) float64 { return math.Float64frombits(m.F[n]) }
+	setR := func(n uint8, v int64) {
+		if n != isa.RegZero {
+			m.R[n] = v
+		}
+		ev.Dst = EncodeReg(isa.IntReg, n)
+	}
+	setF := func(n uint8, v uint64) {
+		m.F[n] = v
+		ev.Dst = EncodeReg(isa.FpReg, n)
+	}
+	setFf := func(n uint8, v float64) { setF(n, math.Float64bits(v)) }
+	srcI := func(n uint8) {
+		if ev.Src1 == noRegEnc {
+			ev.Src1 = EncodeReg(isa.IntReg, n)
+		} else {
+			ev.Src2 = EncodeReg(isa.IntReg, n)
+		}
+	}
+	srcF := func(n uint8) {
+		if ev.Src1 == noRegEnc {
+			ev.Src1 = EncodeReg(isa.FpReg, n)
+		} else {
+			ev.Src2 = EncodeReg(isa.FpReg, n)
+		}
+	}
+	memAccess := func(addr int64) error {
+		if addr < 0 || addr+8 > MemSize {
+			return trap.New(trap.KindOutOfBounds, "sim", "memory access %#x out of range at PC %d (%s)", addr, m.PC, in)
+		}
+		ev.MemAddr = addr
+		return nil
+	}
+
 	for {
 		if m.PC < 0 || m.PC >= len(insts) {
 			return nil, fmt.Errorf("sim: PC %d out of range", m.PC)
 		}
-		in := &insts[m.PC]
+		in = &insts[m.PC]
 		if in.Op == isa.HALT {
-			res := &Result{Ret: m.R[isa.RegV0], Output: m.out.String(), Stats: st}
-			return res, nil
+			m.res.Ret = m.R[isa.RegV0]
+			m.res.Output = string(m.out)
+			return m.res, nil
 		}
 		steps++
 		if steps > m.maxSteps {
 			return nil, trap.New(trap.KindStepLimit, "sim", "step limit exceeded at PC %d", m.PC)
 		}
 
-		ev := Event{PC: m.PC, Op: in.Op, IsDup: in.IsDup, Dst: noRegEnc, Src1: noRegEnc, Src2: noRegEnc}
+		ev = Event{PC: m.PC, Op: in.Op, IsDup: in.IsDup, Dst: noRegEnc, Src1: noRegEnc, Src2: noRegEnc}
 		nextPC := m.PC + 1
 		taken := false
-
-		ir := func(n uint8) int64 { return m.R[n] }
-		fr := func(n uint8) uint64 { return m.F[n] }
-		fi := func(n uint8) int64 { return int64(m.F[n]) }
-		ff := func(n uint8) float64 { return math.Float64frombits(m.F[n]) }
-		setR := func(n uint8, v int64) {
-			if n != isa.RegZero {
-				m.R[n] = v
-			}
-			ev.Dst = EncodeReg(isa.IntReg, n)
-		}
-		setF := func(n uint8, v uint64) {
-			m.F[n] = v
-			ev.Dst = EncodeReg(isa.FpReg, n)
-		}
-		setFf := func(n uint8, v float64) { setF(n, math.Float64bits(v)) }
-		srcI := func(n uint8) {
-			if ev.Src1 == noRegEnc {
-				ev.Src1 = EncodeReg(isa.IntReg, n)
-			} else {
-				ev.Src2 = EncodeReg(isa.IntReg, n)
-			}
-		}
-		srcF := func(n uint8) {
-			if ev.Src1 == noRegEnc {
-				ev.Src1 = EncodeReg(isa.FpReg, n)
-			} else {
-				ev.Src2 = EncodeReg(isa.FpReg, n)
-			}
-		}
-		memAccess := func(addr int64) error {
-			if addr < 0 || addr+8 > MemSize {
-				return trap.New(trap.KindOutOfBounds, "sim", "memory access %#x out of range at PC %d (%s)", addr, m.PC, in)
-			}
-			ev.MemAddr = addr
-			return nil
-		}
 
 		switch in.Op {
 		case isa.NOP:
@@ -237,10 +302,12 @@ func (m *Machine) Run() (*Result, error) {
 			nextPC = int(ir(in.Rs))
 		case isa.PRNI:
 			srcI(in.Rs)
-			fmt.Fprintf(&m.out, "%d\n", ir(in.Rs))
+			m.out = strconv.AppendInt(m.out, ir(in.Rs), 10)
+			m.out = append(m.out, '\n')
 		case isa.PRNF:
 			srcF(in.Rs)
-			fmt.Fprintf(&m.out, "%.6g\n", ff(in.Rs))
+			m.out = strconv.AppendFloat(m.out, ff(in.Rs), 'g', 6, 64)
+			m.out = append(m.out, '\n')
 
 		case isa.LID:
 			setFf(in.Rd, in.FImm)

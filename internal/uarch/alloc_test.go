@@ -1,0 +1,93 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/uarch"
+)
+
+// TestPipelineZeroSteadyStateAllocs pins the allocation-free property of
+// the simulator core: after one warm-up run, a reusable Machine must
+// execute an entire program — functional simulation plus the full detailed
+// timing pipeline — without a single heap allocation, on both Table 1
+// configurations. This is the hard form of the -benchmem benchmark number:
+// any per-cycle or per-instruction allocation sneaking back into the hot
+// loop fails the test, not just a trend line.
+func TestPipelineZeroSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is only meaningful without -race")
+	}
+	res, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced, Analysis: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			m := uarch.NewMachine(cfg)
+			// Warm up: first run grows the ROB columns, pending buffer, and
+			// stats map to their steady-state capacity.
+			if _, _, err := m.Run(res.Prog); err != nil {
+				t.Fatalf("warm-up run: %v", err)
+			}
+			allocs := testing.AllocsPerRun(3, func() {
+				if _, _, err := m.Run(res.Prog); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: warm machine allocated %.1f times per run, want 0", cfg.Name, allocs)
+			}
+		})
+	}
+}
+
+// TestWarmMachineMatchesFreshRun pins that reuse is behavior-neutral: a
+// machine that has already run other programs must produce bit-identical
+// cycles, stats, and functional output on its next run compared to a
+// fresh machine — i.e. Reset leaks no state between runs.
+func TestWarmMachineMatchesFreshRun(t *testing.T) {
+	progA, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced, Analysis: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	const otherSrc = `
+int main() {
+	int s = 1;
+	for (int i = 1; i < 200; i++) s = (s * 31 + i) % 65537;
+	return s;
+}`
+	progB, _, err := codegen.CompileSource(otherSrc, codegen.Options{Scheme: codegen.SchemeBasic})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		fresh, freshSt, err := uarch.Run(progA.Prog, cfg)
+		if err != nil {
+			t.Fatalf("fresh run: %v", err)
+		}
+		freshRet, freshOut := fresh.Ret, fresh.Output
+
+		m := uarch.NewMachine(cfg)
+		// Dirty the machine with a different program first.
+		if _, _, err := m.Run(progB.Prog); err != nil {
+			t.Fatalf("dirtying run: %v", err)
+		}
+		warm, warmSt, err := m.Run(progA.Prog)
+		if err != nil {
+			t.Fatalf("warm run: %v", err)
+		}
+		if warm.Ret != freshRet || warm.Output != freshOut {
+			t.Errorf("%s: warm functional result differs: ret %d vs %d", cfg.Name, warm.Ret, freshRet)
+		}
+		if warmSt.Cycles != freshSt.Cycles || warmSt.Instructions != freshSt.Instructions {
+			t.Errorf("%s: warm timing differs: %d cycles vs %d", cfg.Name, warmSt.Cycles, freshSt.Cycles)
+		}
+		if warmSt.IssueActiveCycles != freshSt.IssueActiveCycles || warmSt.StallBySub != freshSt.StallBySub {
+			t.Errorf("%s: warm stall ledger differs from fresh run", cfg.Name)
+		}
+		if err := warmSt.StallAccountingError(); err != 0 {
+			t.Errorf("%s: warm ledger not closed: error %d", cfg.Name, err)
+		}
+	}
+}

@@ -9,9 +9,10 @@ import (
 
 // BenchmarkPipelineLoop times the uarch simulator's main pipeline loop on
 // both Table 1 machine configurations, driving the same integer loop the
-// timing sanity tests use. Run with -benchmem and feed the output to
-// `fpistat record -gobench` to track the simulator's host-side cost in the
-// run-record store.
+// timing sanity tests use on a warm reusable Machine (the steady state the
+// allocation-free refactor targets; allocs/op should read 0). Run with
+// -benchmem and feed the output to `fpistat record -gobench` to track the
+// simulator's host-side cost in the run-record store.
 func BenchmarkPipelineLoop(b *testing.B) {
 	res, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced, Analysis: true})
 	if err != nil {
@@ -20,9 +21,14 @@ func BenchmarkPipelineLoop(b *testing.B) {
 	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
 		cfg := cfg
 		b.Run(cfg.Name, func(b *testing.B) {
+			m := uarch.NewMachine(cfg)
+			if _, _, err := m.Run(res.Prog); err != nil {
+				b.Fatalf("warm-up run: %v", err)
+			}
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := uarch.Run(res.Prog, cfg); err != nil {
+				if _, _, err := m.Run(res.Prog); err != nil {
 					b.Fatalf("run: %v", err)
 				}
 			}

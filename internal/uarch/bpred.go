@@ -31,6 +31,13 @@ func NewGshare(nCounters int, historyBits uint) *GsharePredictor {
 	}
 }
 
+// Reset clears the counters, history, and statistics, keeping the table.
+func (p *GsharePredictor) Reset() {
+	clear(p.counters)
+	p.history = 0
+	p.Lookups, p.Mispredicts = 0, 0
+}
+
 func (p *GsharePredictor) index(pc int) uint64 {
 	return (uint64(pc) ^ p.history) & p.mask
 }

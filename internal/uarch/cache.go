@@ -2,16 +2,18 @@ package uarch
 
 // Cache is a set-associative cache with LRU replacement, used for both the
 // instruction cache (64KB, 2-way, 128-byte lines) and the data cache (32KB,
-// 2-way, 32-byte lines, write-back, write-allocate) of Table 1.
+// 2-way, 32-byte lines, write-back, write-allocate) of Table 1. The way
+// state is stored in flat sets×ways arrays (row-major by set) so a lookup
+// touches one contiguous stripe, and Reset recycles the arrays.
 type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
 
-	tags  [][]uint64
-	valid [][]bool
-	dirty [][]bool
-	lru   [][]int64 // last-touch stamps
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	lru   []int64 // last-touch stamps
 	stamp int64
 
 	Accesses   int64
@@ -28,17 +30,23 @@ func NewCache(size, ways, lineSize int) *Cache {
 		lineSize >>= 1
 		c.lineShift++
 	}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.dirty = make([][]bool, sets)
-	c.lru = make([][]int64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, ways)
-		c.valid[i] = make([]bool, ways)
-		c.dirty[i] = make([]bool, ways)
-		c.lru[i] = make([]int64, ways)
-	}
+	n := sets * ways
+	c.tags = make([]uint64, n)
+	c.valid = make([]bool, n)
+	c.dirty = make([]bool, n)
+	c.lru = make([]int64, n)
 	return c
+}
+
+// Reset invalidates every line and zeroes the statistics, keeping the
+// arrays.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.lru)
+	c.stamp = 0
+	c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
 }
 
 // Access looks up addr, filling on miss (write-allocate). write marks the
@@ -49,34 +57,35 @@ func (c *Cache) Access(addr int64, write bool) bool {
 	line := uint64(addr) >> c.lineShift
 	set := int(line % uint64(c.sets))
 	tag := line / uint64(c.sets)
-	for w := 0; w < c.ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.lru[set][w] = c.stamp
+	base := set * c.ways
+	for w := base; w < base+c.ways; w++ {
+		if c.valid[w] && c.tags[w] == tag {
+			c.lru[w] = c.stamp
 			if write {
-				c.dirty[set][w] = true
+				c.dirty[w] = true
 			}
 			return true
 		}
 	}
 	c.Misses++
 	// Fill: evict LRU way.
-	victim := 0
-	for w := 1; w < c.ways; w++ {
-		if !c.valid[set][w] {
+	victim := base
+	for w := base + 1; w < base+c.ways; w++ {
+		if !c.valid[w] {
 			victim = w
 			break
 		}
-		if c.lru[set][w] < c.lru[set][victim] {
+		if c.lru[w] < c.lru[victim] {
 			victim = w
 		}
 	}
-	if c.valid[set][victim] && c.dirty[set][victim] {
+	if c.valid[victim] && c.dirty[victim] {
 		c.Writebacks++
 	}
-	c.tags[set][victim] = tag
-	c.valid[set][victim] = true
-	c.dirty[set][victim] = write
-	c.lru[set][victim] = c.stamp
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.lru[victim] = c.stamp
 	return false
 }
 

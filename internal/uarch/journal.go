@@ -32,27 +32,19 @@ type Journal struct {
 }
 
 // AttachJournal starts recording the first limit committed instructions.
+// The entry buffer is preallocated to the limit, so recording itself does
+// not allocate.
 func (p *Pipeline) AttachJournal(limit int) *Journal {
-	p.journal = &Journal{Limit: limit}
+	p.journal = &Journal{Limit: limit, Entries: make([]JournalEntry, 0, limit)}
 	return p.journal
 }
 
 // record is called at commit time.
-func (j *Journal) record(seq int64, e *robEntry, commitAt int64) {
-	if j == nil || len(j.Entries) >= j.Limit {
+func (j *Journal) record(e JournalEntry) {
+	if len(j.Entries) >= j.Limit {
 		return
 	}
-	j.Entries = append(j.Entries, JournalEntry{
-		Seq:      seq,
-		PC:       e.ev.PC,
-		Op:       e.ev.Op,
-		Sub:      e.sub,
-		FetchAt:  e.fetchAt,
-		IssueAt:  e.issueAt,
-		DoneAt:   e.doneAt,
-		CommitAt: commitAt,
-		Misp:     e.misp,
-	})
+	j.Entries = append(j.Entries, e)
 }
 
 // TraceEvents converts the journal into Chrome trace events: one track

@@ -1,0 +1,5 @@
+//go:build !race
+
+package uarch_test
+
+const raceEnabled = false

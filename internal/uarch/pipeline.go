@@ -63,6 +63,11 @@ type Stats struct {
 
 	// IssueSlotCycles[k] counts cycles in which exactly k instructions
 	// issued (k = 0..IssueWidth) — the per-slot issue-utilization profile.
+	//
+	// The histogram slices below are owned by the Pipeline that produced
+	// them and are recycled by its next Reset; copy them if the Stats must
+	// outlive a reused pipeline. (Runs through the package-level Run
+	// helpers use a fresh pipeline per call and are unaffected.)
 	IssueSlotCycles []int64
 
 	// Per-cycle occupancy histograms, sampled at the end of every cycle:
@@ -84,39 +89,135 @@ func (s *Stats) IPC() float64 {
 
 const never = math.MaxInt64 / 4
 
-// robEntry is one in-flight dynamic instruction.
-type robEntry struct {
-	ev sim.Event
+// Per-instruction boolean state, packed into one byte of the ROB's flag
+// column.
+const (
+	fDispatched = uint8(1) << iota
+	fIssued
+	fIsMem
+	fIsLoad
+	fIsStore
+	fIsBr
+	fMisp  // conditional branch that the predictor missed
+	fDmiss // load that missed the D-cache
+)
 
-	deps [2]int64 // absolute ROB indices of producers; -1 = ready
+// robColumns is the in-flight instruction store in struct-of-arrays layout:
+// one parallel column per field, indexed by abs−robBase. The hot columns
+// (flags, dispatchAt, doneAt, deps, sub, memAddr) are what the per-cycle
+// issue/commit scans touch; keeping them in dense homogeneous arrays — the
+// reservation-station idiom — is what makes those scans cache-friendly.
+// Columns are appended in lockstep and recycled across runs, so a warm
+// pipeline allocates nothing here.
+type robColumns struct {
+	flags      []uint8
+	sub        []isa.Subsystem
+	pc         []int32
+	dispatchAt []int64
+	doneAt     []int64
+	dep0       []int64 // absolute ROB index of producer; -1 = ready
+	dep1       []int64
+	memAddr    []int64
 
-	fetchAt    int64 // cycle the instruction was fetched
-	dispatchAt int64
-	issueAt    int64
-	doneAt     int64
-	dispatched bool
-	issued     bool
-
-	sub     isa.Subsystem
-	isMem   bool
-	isLoad  bool
-	isStore bool
-	isBr    bool
-	misp    bool // conditional branch that the predictor missed
-	dmiss   bool // load that missed the D-cache
-
-	// seq is the dynamic instruction index in the fed trace, stable across
-	// pending-buffer compaction and post-flush refetch; it keys fault-plan
-	// decisions so replayed instances never re-fault.
-	seq       int64
-	faultKind faultinject.Kind // injected fault, if any (KindNone otherwise)
-
-	hasDst   bool
-	dstClass isa.RegClass
+	// Cold columns: read at most once per instruction (dispatch, commit,
+	// fault decision), not in the per-cycle scans.
+	op        []isa.Opcode
+	seq       []int64
+	fetchAt   []int64
+	issueAt   []int64
+	dst       []int16 // encoded destination register, -1 when none
+	src1      []int16
+	src2      []int16
+	faultKind []faultinject.Kind
 }
+
+// push appends one fetched instruction; deps start ready and are captured
+// at dispatch.
+func (r *robColumns) push(fl uint8, sub isa.Subsystem, ev *sim.Event, seq, fetchAt, dispatchAt int64) {
+	r.flags = append(r.flags, fl)
+	r.sub = append(r.sub, sub)
+	r.pc = append(r.pc, int32(ev.PC))
+	r.dispatchAt = append(r.dispatchAt, dispatchAt)
+	r.doneAt = append(r.doneAt, never)
+	r.dep0 = append(r.dep0, -1)
+	r.dep1 = append(r.dep1, -1)
+	r.memAddr = append(r.memAddr, ev.MemAddr)
+	r.op = append(r.op, ev.Op)
+	r.seq = append(r.seq, seq)
+	r.fetchAt = append(r.fetchAt, fetchAt)
+	r.issueAt = append(r.issueAt, 0)
+	r.dst = append(r.dst, ev.Dst)
+	r.src1 = append(r.src1, ev.Src1)
+	r.src2 = append(r.src2, ev.Src2)
+	r.faultKind = append(r.faultKind, faultinject.KindNone)
+}
+
+// truncate discards entries at and beyond n (fault-flush squash).
+func (r *robColumns) truncate(n int) {
+	r.flags = r.flags[:n]
+	r.sub = r.sub[:n]
+	r.pc = r.pc[:n]
+	r.dispatchAt = r.dispatchAt[:n]
+	r.doneAt = r.doneAt[:n]
+	r.dep0 = r.dep0[:n]
+	r.dep1 = r.dep1[:n]
+	r.memAddr = r.memAddr[:n]
+	r.op = r.op[:n]
+	r.seq = r.seq[:n]
+	r.fetchAt = r.fetchAt[:n]
+	r.issueAt = r.issueAt[:n]
+	r.dst = r.dst[:n]
+	r.src1 = r.src1[:n]
+	r.src2 = r.src2[:n]
+	r.faultKind = r.faultKind[:n]
+}
+
+// drop removes the first n (committed) entries, shifting the rest down in
+// place.
+func (r *robColumns) drop(n int) {
+	k := len(r.flags) - n
+	copy(r.flags, r.flags[n:])
+	r.flags = r.flags[:k]
+	copy(r.sub, r.sub[n:])
+	r.sub = r.sub[:k]
+	copy(r.pc, r.pc[n:])
+	r.pc = r.pc[:k]
+	copy(r.dispatchAt, r.dispatchAt[n:])
+	r.dispatchAt = r.dispatchAt[:k]
+	copy(r.doneAt, r.doneAt[n:])
+	r.doneAt = r.doneAt[:k]
+	copy(r.dep0, r.dep0[n:])
+	r.dep0 = r.dep0[:k]
+	copy(r.dep1, r.dep1[n:])
+	r.dep1 = r.dep1[:k]
+	copy(r.memAddr, r.memAddr[n:])
+	r.memAddr = r.memAddr[:k]
+	copy(r.op, r.op[n:])
+	r.op = r.op[:k]
+	copy(r.seq, r.seq[n:])
+	r.seq = r.seq[:k]
+	copy(r.fetchAt, r.fetchAt[n:])
+	r.fetchAt = r.fetchAt[:k]
+	copy(r.issueAt, r.issueAt[n:])
+	r.issueAt = r.issueAt[:k]
+	copy(r.dst, r.dst[n:])
+	r.dst = r.dst[:k]
+	copy(r.src1, r.src1[n:])
+	r.src1 = r.src1[:k]
+	copy(r.src2, r.src2[n:])
+	r.src2 = r.src2[:k]
+	copy(r.faultKind, r.faultKind[n:])
+	r.faultKind = r.faultKind[:k]
+}
+
+// reset empties the store, keeping column capacity.
+func (r *robColumns) reset() { r.truncate(0) }
 
 // Pipeline is the trace-driven out-of-order timing model. Feed it the
 // dynamic instruction stream (in program order) and call Finish to drain.
+// A pipeline is reusable: Reset restores the power-on state while keeping
+// every buffer, so a warm pipeline runs its steady state without heap
+// allocations.
 type Pipeline struct {
 	cfg    Config
 	bpred  *GsharePredictor
@@ -133,17 +234,18 @@ type Pipeline struct {
 	pendHead int
 	pendBase int64
 
-	// fetchQ holds fetched-but-not-dispatched entries (absolute indices
-	// into rob).
-	rob      []robEntry
-	robBase  int64 // absolute index of rob[0]
+	// rob holds fetched instructions in struct-of-arrays layout; the
+	// absolute index space survives compaction via robBase.
+	rob      robColumns
+	robBase  int64 // absolute index of rob column 0
 	head     int64 // next absolute index to commit
 	tail     int64 // next absolute index to allocate
 	dispatch int64 // next absolute index to dispatch
 
-	// rename maps encoded architectural registers to the absolute ROB
-	// index of their most recent producer.
-	rename map[int16]int64
+	// rename maps encoded architectural registers (class*32+num, one slot
+	// per register in either class) to the absolute ROB index of their most
+	// recent producer; -1 means no in-flight producer.
+	rename [64]int64
 
 	// Fetch state.
 	fetchBlockedOn   int64 // absolute index of unresolved mispredicted branch, -1 none
@@ -177,20 +279,63 @@ type Pipeline struct {
 // NewPipeline builds a timing model for cfg.
 func NewPipeline(cfg Config) *Pipeline {
 	p := &Pipeline{
-		cfg:              cfg,
-		bpred:            NewGshare(cfg.BpredCounters, cfg.BpredHistory),
-		icache:           NewCache(cfg.ICacheSize, cfg.ICacheWays, cfg.ICacheLine),
-		dcache:           NewCache(cfg.DCacheSize, cfg.DCacheWays, cfg.DCacheLine),
-		rename:           make(map[int16]int64),
-		fetchBlockedOn:   -1,
-		lastFetchLine:    -1,
-		recoverBlockedOn: -1,
+		cfg:    cfg,
+		bpred:  NewGshare(cfg.BpredCounters, cfg.BpredHistory),
+		icache: NewCache(cfg.ICacheSize, cfg.ICacheWays, cfg.ICacheLine),
+		dcache: NewCache(cfg.DCacheSize, cfg.DCacheWays, cfg.DCacheLine),
 	}
-	p.stats.IssueSlotCycles = make([]int64, cfg.IssueWidth+1)
-	p.stats.IntWinOcc = make([]int64, cfg.IntWindow+1)
-	p.stats.FpWinOcc = make([]int64, cfg.FpWindow+1)
-	p.stats.ROBOcc = make([]int64, cfg.MaxInFlight+1)
+	p.Reset()
 	return p
+}
+
+// Reset restores the pipeline to its power-on state for a new run, keeping
+// all buffers (ROB columns, pending queue, histogram slices, cache and
+// predictor tables) so a warm pipeline allocates nothing. Any attached
+// journal, profile, or fault plan is detached; re-attach after Reset.
+func (p *Pipeline) Reset() {
+	p.bpred.Reset()
+	p.icache.Reset()
+	p.dcache.Reset()
+	p.cycle = 0
+	p.pending = p.pending[:0]
+	p.pendHead = 0
+	p.pendBase = 0
+	p.rob.reset()
+	p.robBase, p.head, p.tail, p.dispatch = 0, 0, 0, 0
+	for i := range p.rename {
+		p.rename[i] = -1
+	}
+	p.fetchBlockedOn = -1
+	p.icacheStallUntil = 0
+	p.lastFetchLine = -1
+	p.faults = nil
+	p.recoverBlockedOn = -1
+	p.intWinCount, p.fpWinCount, p.inFlight = 0, 0, 0
+	p.intDefs, p.fpDefs = 0, 0
+	p.issuedOldestPC = UnknownPC
+	p.issuedOldestSub = isa.SubINT
+	p.resetStats()
+	p.done = false
+	p.journal = nil
+	p.profile = nil
+}
+
+// resetStats zeroes the statistics in place, recycling the histogram
+// slices.
+func (p *Pipeline) resetStats() {
+	slots, iw, fw, rob := p.stats.IssueSlotCycles, p.stats.IntWinOcc, p.stats.FpWinOcc, p.stats.ROBOcc
+	if slots == nil {
+		slots = make([]int64, p.cfg.IssueWidth+1)
+		iw = make([]int64, p.cfg.IntWindow+1)
+		fw = make([]int64, p.cfg.FpWindow+1)
+		rob = make([]int64, p.cfg.MaxInFlight+1)
+	} else {
+		clear(slots)
+		clear(iw)
+		clear(fw)
+		clear(rob)
+	}
+	p.stats = Stats{IssueSlotCycles: slots, IntWinOcc: iw, FpWinOcc: fw, ROBOcc: rob}
 }
 
 // Feed appends one traced instruction and advances the clock as needed to
@@ -232,9 +377,8 @@ func (p *Pipeline) Finish() Stats {
 	return p.stats
 }
 
-func (p *Pipeline) entry(abs int64) *robEntry {
-	return &p.rob[abs-p.robBase]
-}
+// idx converts an absolute ROB index into a column index.
+func (p *Pipeline) idx(abs int64) int { return int(abs - p.robBase) }
 
 // step advances the machine by one cycle: commit, issue, dispatch, fetch.
 // Stall classification runs between issue and dispatch so it sees exactly
@@ -252,12 +396,13 @@ func (p *Pipeline) step() {
 
 func (p *Pipeline) commit() {
 	for n := 0; n < p.cfg.RetireWidth && p.head < p.tail; n++ {
-		e := p.entry(p.head)
-		if !e.issued || e.doneAt > p.cycle {
+		i := p.idx(p.head)
+		fl := p.rob.flags[i]
+		if fl&fIssued == 0 || p.rob.doneAt[i] > p.cycle {
 			return
 		}
-		if e.hasDst {
-			if e.dstClass == isa.IntReg {
+		if dst := p.rob.dst[i]; dst >= 0 {
+			if dst < 32 {
 				p.intDefs--
 			} else {
 				p.fpDefs--
@@ -265,36 +410,41 @@ func (p *Pipeline) commit() {
 		}
 		p.inFlight--
 		p.stats.Instructions++
-		p.journal.record(p.stats.Instructions, e, p.cycle)
+		if p.journal != nil {
+			p.journal.record(JournalEntry{
+				Seq:      p.stats.Instructions,
+				PC:       int(p.rob.pc[i]),
+				Op:       p.rob.op[i],
+				Sub:      p.rob.sub[i],
+				FetchAt:  p.rob.fetchAt[i],
+				IssueAt:  p.rob.issueAt[i],
+				DoneAt:   p.rob.doneAt[i],
+				CommitAt: p.cycle,
+				Misp:     fl&fMisp != 0,
+			})
+		}
 		if p.profile != nil {
-			p.profile.retire(e.ev.PC)
+			p.profile.retire(int(p.rob.pc[i]))
 		}
 		p.head++
 	}
-	// Trim committed prefix when it grows large, keeping entries that may
-	// still be referenced as dependencies (committed entries are done by
-	// definition, so references to indices below robBase are ready).
+	// Trim the committed prefix when it grows large, keeping entries that
+	// may still be referenced as dependencies (committed entries are done
+	// by definition, so references to indices below robBase are ready).
 	if p.head-p.robBase > 8192 {
-		drop := p.head - p.robBase
-		p.rob = append(p.rob[:0], p.rob[drop:]...)
+		p.rob.drop(int(p.head - p.robBase))
 		p.robBase = p.head
 	}
 }
 
-func (p *Pipeline) ready(e *robEntry) bool {
-	for _, d := range e.deps {
-		if d < 0 {
-			continue
-		}
-		if d < p.robBase {
-			continue // committed long ago
-		}
-		dep := p.entry(d)
-		if !dep.issued || dep.doneAt > p.cycle {
-			return false
-		}
+// depReady reports whether producer d (an absolute ROB index or -1) has
+// finished executing.
+func (p *Pipeline) depReady(d int64) bool {
+	if d < p.robBase { // -1, or committed long ago
+		return true
 	}
-	return true
+	j := p.idx(d)
+	return p.rob.flags[j]&fIssued != 0 && p.rob.doneAt[j] <= p.cycle
 }
 
 func (p *Pipeline) issue() int {
@@ -306,21 +456,24 @@ func (p *Pipeline) issue() int {
 	flushAt := int64(-1) // faulted entry that triggers a pipeline flush
 	p.issuedOldestPC = UnknownPC
 
-	// Oldest un-issued store (for load/store ordering).
+	// Oldest-first scan over the issue windows.
 	for abs := p.head; abs < p.tail && total < p.cfg.IssueWidth; abs++ {
-		e := p.entry(abs)
-		if !e.dispatched || e.issued || e.dispatchAt >= p.cycle {
+		i := p.idx(abs)
+		fl := p.rob.flags[i]
+		if fl&(fDispatched|fIssued) != fDispatched || p.rob.dispatchAt[i] >= p.cycle {
 			continue
 		}
-		if !p.ready(e) {
+		if !p.depReady(p.rob.dep0[i]) || !p.depReady(p.rob.dep1[i]) {
 			continue
 		}
+		sub := p.rob.sub[i]
+		isMem := fl&fIsMem != 0
 		// Structural hazards.
-		if e.isMem {
+		if isMem {
 			if ports >= p.cfg.LdStPorts {
 				continue
 			}
-		} else if e.sub == isa.SubINT {
+		} else if sub == isa.SubINT {
 			if intALU >= p.cfg.IntALUs {
 				continue
 			}
@@ -329,15 +482,14 @@ func (p *Pipeline) issue() int {
 				continue
 			}
 		}
-		if e.isLoad {
+		if fl&fIsLoad != 0 {
 			// Loads execute only once all prior store addresses are known
 			// (Table 1); an unissued older store blocks this load. The scan
 			// is oldest-first, so any older store either issued already or
 			// appears before this load; track via a lookback.
 			blocked := false
 			for s := p.head; s < abs; s++ {
-				se := p.entry(s)
-				if se.isStore && !se.issued {
+				if p.rob.flags[p.idx(s)]&(fIsStore|fIssued) == fIsStore {
 					blocked = true
 					break
 				}
@@ -348,30 +500,30 @@ func (p *Pipeline) issue() int {
 		}
 
 		// Issue.
-		lat := int64(isa.Latency(e.ev.Op))
-		if e.sub == isa.SubFPa && !e.isMem {
+		lat := int64(isa.Latency(p.rob.op[i]))
+		if sub == isa.SubFPa && !isMem {
 			lat += int64(p.cfg.FPaExtraLatency)
 		}
-		if e.isLoad {
+		if fl&fIsLoad != 0 {
 			// Store-to-load forwarding on a word-address match.
 			forwarded := false
 			for s := p.head; s < abs; s++ {
-				se := p.entry(s)
-				if se.isStore && se.ev.MemAddr == e.ev.MemAddr {
+				sj := p.idx(s)
+				if p.rob.flags[sj]&fIsStore != 0 && p.rob.memAddr[sj] == p.rob.memAddr[i] {
 					forwarded = true
 				}
 			}
 			if forwarded {
 				lat = int64(p.cfg.DCacheHit)
-			} else if p.dcache.Access(e.ev.MemAddr, false) {
+			} else if p.dcache.Access(p.rob.memAddr[i], false) {
 				lat = int64(p.cfg.DCacheHit)
 			} else {
 				lat = int64(p.cfg.DCacheHit + p.cfg.DCacheMissPenalty)
-				e.dmiss = true
+				p.rob.flags[i] |= fDmiss
 			}
 			p.stats.Loads++
-		} else if e.isStore {
-			p.dcache.Access(e.ev.MemAddr, true)
+		} else if fl&fIsStore != 0 {
+			p.dcache.Access(p.rob.memAddr[i], true)
 			lat = 1
 			p.stats.Stores++
 		}
@@ -381,11 +533,11 @@ func (p *Pipeline) issue() int {
 		// this instruction's latency, and flush-class faults additionally
 		// squash all younger in-flight work (handled after issue below).
 		if p.faults != nil {
-			if kind := p.faults.Decide(e.seq, e.ev.Op, e.hasDst); kind != faultinject.KindNone {
+			if kind := p.faults.Decide(p.rob.seq[i], p.rob.op[i], p.rob.dst[i] >= 0); kind != faultinject.KindNone {
 				rec := p.faults.Recovery(kind, lat)
-				e.faultKind = kind
+				p.rob.faultKind[i] = kind
 				p.faults.Record(faultinject.Fault{
-					Seq: e.seq, PC: e.ev.PC, Op: e.ev.Op, Kind: kind,
+					Seq: p.rob.seq[i], PC: int(p.rob.pc[i]), Op: p.rob.op[i], Kind: kind,
 					Cycle: p.cycle, Recovery: rec,
 				})
 				p.stats.FaultsInjected++
@@ -396,30 +548,30 @@ func (p *Pipeline) issue() int {
 				}
 			}
 		}
-		e.issued = true
-		e.issueAt = p.cycle
-		e.doneAt = p.cycle + lat
+		p.rob.flags[i] |= fIssued
+		p.rob.issueAt[i] = p.cycle
+		p.rob.doneAt[i] = p.cycle + lat
 		if p.issuedOldestPC == UnknownPC {
 			// Oldest-first scan: the first issue of the cycle is the one
 			// retirement is waiting on; active cycles are charged to it.
-			p.issuedOldestPC = e.ev.PC
-			p.issuedOldestSub = e.sub
+			p.issuedOldestPC = int(p.rob.pc[i])
+			p.issuedOldestSub = sub
 		}
 		// Leaving the issue window frees the entry.
-		if e.sub == isa.SubINT || e.isMem {
+		if sub == isa.SubINT || isMem {
 			p.intWinCount--
 		} else {
 			p.fpWinCount--
 		}
 		total++
-		if e.isMem {
+		if isMem {
 			ports++
-		} else if e.sub == isa.SubINT {
+		} else if sub == isa.SubINT {
 			intALU++
 		} else {
 			fpALU++
 		}
-		switch e.sub {
+		switch sub {
 		case isa.SubINT:
 			p.stats.IssuedINT++
 			intIssued++
@@ -428,10 +580,6 @@ func (p *Pipeline) issue() int {
 		case isa.SubFPa:
 			p.stats.IssuedFPa++
 			fpaIssued++
-		}
-		// Resolved mispredicted branch: restart fetch after completion.
-		if e.isBr && e.misp && p.fetchBlockedOn == abs {
-			// fetch resumes once doneAt passes; handled in fetch().
 		}
 		// Parity flush: squash everything younger than the faulted
 		// instruction and stop issuing — the scan's view of the window is
@@ -461,7 +609,7 @@ func (p *Pipeline) squashYounger(abs int64) {
 	// events; compaction keeps at least tail−head consumed events around,
 	// so rolling pendHead back re-exposes exactly those events.
 	p.pendHead -= int(squash)
-	p.rob = p.rob[:abs+1-p.robBase]
+	p.rob.truncate(p.idx(abs + 1))
 	p.tail = abs + 1
 	if p.dispatch > p.tail {
 		p.dispatch = p.tail
@@ -470,33 +618,37 @@ func (p *Pipeline) squashYounger(abs int64) {
 		p.fetchBlockedOn = -1
 	}
 	p.lastFetchLine = -1 // refetch probes the I-cache afresh
-	// Rebuild the rename map from surviving dispatched producers. Mappings
-	// to committed producers are dropped, which is equivalent: a committed
-	// value is ready either way.
-	p.rename = make(map[int16]int64)
+	// Rebuild the rename table from surviving dispatched producers.
+	// Mappings to committed producers are dropped, which is equivalent: a
+	// committed value is ready either way.
+	for r := range p.rename {
+		p.rename[r] = -1
+	}
 	for a := p.head; a < p.dispatch; a++ {
-		if e := p.entry(a); e.dispatched && e.hasDst {
-			p.rename[e.ev.Dst] = a
+		i := p.idx(a)
+		if p.rob.flags[i]&fDispatched != 0 && p.rob.dst[i] >= 0 {
+			p.rename[p.rob.dst[i]] = a
 		}
 	}
 	// Rebuild occupancy counters from the surviving window contents.
 	p.intWinCount, p.fpWinCount, p.inFlight = 0, 0, 0
 	p.intDefs, p.fpDefs = 0, 0
 	for a := p.head; a < p.tail; a++ {
-		e := p.entry(a)
-		if !e.dispatched {
+		i := p.idx(a)
+		fl := p.rob.flags[i]
+		if fl&fDispatched == 0 {
 			continue
 		}
 		p.inFlight++
-		if e.hasDst {
-			if e.dstClass == isa.IntReg {
+		if dst := p.rob.dst[i]; dst >= 0 {
+			if dst < 32 {
 				p.intDefs++
 			} else {
 				p.fpDefs++
 			}
 		}
-		if !e.issued {
-			if e.sub == isa.SubINT || e.isMem {
+		if fl&fIssued == 0 {
+			if p.rob.sub[i] == isa.SubINT || fl&fIsMem != 0 {
 				p.intWinCount++
 			} else {
 				p.fpWinCount++
@@ -507,16 +659,17 @@ func (p *Pipeline) squashYounger(abs int64) {
 
 func (p *Pipeline) dispatchStage() {
 	for n := 0; n < p.cfg.DecodeWidth && p.dispatch < p.tail; n++ {
-		e := p.entry(p.dispatch)
+		i := p.idx(p.dispatch)
 		// One-cycle front-end latency after fetch.
-		if e.dispatchAt > p.cycle {
+		if p.rob.dispatchAt[i] > p.cycle {
 			return
 		}
 		if p.inFlight >= p.cfg.MaxInFlight {
 			return
 		}
+		fl := p.rob.flags[i]
 		// Window space.
-		intSide := e.sub == isa.SubINT || e.isMem
+		intSide := p.rob.sub[i] == isa.SubINT || fl&fIsMem != 0
 		if intSide && p.intWinCount >= p.cfg.IntWindow {
 			return
 		}
@@ -524,8 +677,9 @@ func (p *Pipeline) dispatchStage() {
 			return
 		}
 		// Physical registers for renamed destinations.
-		if e.hasDst {
-			if e.dstClass == isa.IntReg {
+		dst := p.rob.dst[i]
+		if dst >= 0 {
+			if dst < 32 {
 				if p.intDefs >= p.cfg.IntPhysRegs-32 {
 					return
 				}
@@ -534,26 +688,25 @@ func (p *Pipeline) dispatchStage() {
 			}
 		}
 		// Rename: capture producers, claim destination.
-		e.deps[0], e.deps[1] = -1, -1
-		if e.ev.Src1 >= 0 {
-			if prod, ok := p.rename[e.ev.Src1]; ok {
-				e.deps[0] = prod
-			}
+		if s := p.rob.src1[i]; s >= 0 {
+			p.rob.dep0[i] = p.rename[s]
+		} else {
+			p.rob.dep0[i] = -1
 		}
-		if e.ev.Src2 >= 0 {
-			if prod, ok := p.rename[e.ev.Src2]; ok {
-				e.deps[1] = prod
-			}
+		if s := p.rob.src2[i]; s >= 0 {
+			p.rob.dep1[i] = p.rename[s]
+		} else {
+			p.rob.dep1[i] = -1
 		}
-		if e.hasDst {
-			p.rename[e.ev.Dst] = p.dispatch
-			if e.dstClass == isa.IntReg {
+		if dst >= 0 {
+			p.rename[dst] = p.dispatch
+			if dst < 32 {
 				p.intDefs++
 			} else {
 				p.fpDefs++
 			}
 		}
-		e.dispatched = true
+		p.rob.flags[i] = fl | fDispatched
 		if intSide {
 			p.intWinCount++
 		} else {
@@ -568,8 +721,7 @@ func (p *Pipeline) fetch() {
 	// Blocked refilling the front end after a fault-recovery flush?
 	if p.recoverBlockedOn >= 0 {
 		if p.recoverBlockedOn >= p.robBase { // otherwise committed: recovered
-			be := p.entry(p.recoverBlockedOn)
-			if be.doneAt > p.cycle {
+			if p.rob.doneAt[p.idx(p.recoverBlockedOn)] > p.cycle {
 				p.stats.FetchFaultStalls++
 				return
 			}
@@ -579,8 +731,8 @@ func (p *Pipeline) fetch() {
 	// Blocked on an unresolved mispredicted branch?
 	if p.fetchBlockedOn >= 0 {
 		if p.fetchBlockedOn >= p.robBase { // otherwise committed: resolved
-			be := p.entry(p.fetchBlockedOn)
-			if !be.issued || be.doneAt > p.cycle {
+			i := p.idx(p.fetchBlockedOn)
+			if p.rob.flags[i]&fIssued == 0 || p.rob.doneAt[i] > p.cycle {
 				p.stats.FetchMispredictStalls++
 				return
 			}
@@ -597,7 +749,7 @@ func (p *Pipeline) fetch() {
 		if p.tail-p.dispatch >= fetchBuf {
 			return
 		}
-		ev := p.pending[p.pendHead]
+		ev := &p.pending[p.pendHead]
 		// Instruction cache: one probe per new line touched (instructions
 		// are modeled as 8 bytes).
 		line := (int64(ev.PC) * 8) / int64(p.cfg.ICacheLine)
@@ -612,33 +764,27 @@ func (p *Pipeline) fetch() {
 		p.pendHead++
 
 		abs := p.tail
-		p.rob = append(p.rob, robEntry{
-			ev:         ev,
-			seq:        seq,
-			fetchAt:    p.cycle,
-			dispatchAt: p.cycle + 1,
-			doneAt:     never,
-			sub:        isa.ExecSubsystem(ev.Op),
-			isMem:      isa.IsMem(ev.Op),
-			isLoad:     isa.IsLoad(ev.Op),
-			isStore:    isa.IsStore(ev.Op),
-			isBr:       isa.IsCondBranch(ev.Op),
-		})
-		e := p.entry(abs)
-		if ev.Dst >= 0 {
-			e.hasDst = true
-			if ev.Dst < 32 {
-				e.dstClass = isa.IntReg
-			} else {
-				e.dstClass = isa.FpReg
-			}
+		var fl uint8
+		if isa.IsMem(ev.Op) {
+			fl |= fIsMem
 		}
+		if isa.IsLoad(ev.Op) {
+			fl |= fIsLoad
+		}
+		if isa.IsStore(ev.Op) {
+			fl |= fIsStore
+		}
+		isBr := isa.IsCondBranch(ev.Op)
+		if isBr {
+			fl |= fIsBr
+		}
+		p.rob.push(fl, isa.ExecSubsystem(ev.Op), ev, seq, p.cycle, p.cycle+1)
 		p.tail++
 
-		if e.isBr {
+		if isBr {
 			correct := p.bpred.PredictAndUpdate(ev.PC, ev.Taken)
 			if !correct {
-				e.misp = true
+				p.rob.flags[p.idx(abs)] |= fMisp
 				p.fetchBlockedOn = abs
 				return
 			}

@@ -6,33 +6,56 @@ import (
 	"fpint/internal/sim"
 )
 
+// Machine couples a reusable functional simulator with a reusable timing
+// pipeline for one machine configuration. Build one with NewMachine and
+// call Run repeatedly: the memory arena, ROB columns, cache and predictor
+// tables, statistics buffers, and trace plumbing are all allocated once,
+// so a warm machine simulates without heap traffic — the property
+// TestPipelineZeroSteadyStateAllocs pins.
+//
+// The returned sim.Result and the slices inside Stats are machine-owned
+// and valid only until the machine's next Run; copy them to keep them.
+// Results are cycle-identical to the fresh-machine Run helpers below.
+type Machine struct {
+	cfg  Config
+	pipe *Pipeline
+	fm   *sim.Machine
+}
+
+// NewMachine builds a reusable functional+timing machine for cfg.
+func NewMachine(cfg Config) *Machine {
+	m := &Machine{cfg: cfg, pipe: NewPipeline(cfg), fm: sim.NewMachine()}
+	m.fm.Trace = m.pipe.Feed
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
 // Run executes prog functionally while driving the timing model, returning
 // both the functional result and the timing statistics.
-func Run(prog *isa.Program, cfg Config) (*sim.Result, Stats, error) {
-	m := sim.New(prog)
-	p := NewPipeline(cfg)
-	m.Trace = p.Feed
-	res, err := m.Run()
+func (m *Machine) Run(prog *isa.Program) (*sim.Result, Stats, error) {
+	m.pipe.Reset()
+	m.fm.Reset(prog)
+	res, err := m.fm.Run()
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	st := p.Finish()
-	return res, st, nil
+	return res, m.pipe.Finish(), nil
 }
 
 // RunProfiled is Run with per-PC cycle attribution enabled; the returned
-// profile is complete (Σ per-PC cycles == Stats.Cycles).
-func RunProfiled(prog *isa.Program, cfg Config) (*sim.Result, Stats, *CycleProfile, error) {
-	m := sim.New(prog)
-	p := NewPipeline(cfg)
-	prof := p.AttachProfile()
-	m.Trace = p.Feed
-	res, err := m.Run()
+// profile is complete (Σ per-PC cycles == Stats.Cycles). Profiled runs
+// allocate in the profile itself, not in the pipeline loop.
+func (m *Machine) RunProfiled(prog *isa.Program) (*sim.Result, Stats, *CycleProfile, error) {
+	m.pipe.Reset()
+	prof := m.pipe.AttachProfile()
+	m.fm.Reset(prog)
+	res, err := m.fm.Run()
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
-	st := p.Finish()
-	return res, st, prof, nil
+	return res, m.pipe.Finish(), prof, nil
 }
 
 // RunInjected is RunProfiled with a transient-fault plan armed on the
@@ -41,16 +64,32 @@ func RunProfiled(prog *isa.Program, cfg Config) (*sim.Result, Stats, *CycleProfi
 // recovery discipline guarantees architecturally correct output; injected
 // faults cost only cycles, visible in the stats, profile, and the plan's
 // trace.
-func RunInjected(prog *isa.Program, cfg Config, plan *faultinject.Plan) (*sim.Result, Stats, *CycleProfile, error) {
-	m := sim.New(prog)
-	p := NewPipeline(cfg)
-	prof := p.AttachProfile()
-	p.AttachFaults(plan)
-	m.Trace = p.Feed
-	res, err := m.Run()
+func (m *Machine) RunInjected(prog *isa.Program, plan *faultinject.Plan) (*sim.Result, Stats, *CycleProfile, error) {
+	m.pipe.Reset()
+	prof := m.pipe.AttachProfile()
+	m.pipe.AttachFaults(plan)
+	m.fm.Reset(prog)
+	res, err := m.fm.Run()
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
-	st := p.Finish()
-	return res, st, prof, nil
+	return res, m.pipe.Finish(), prof, nil
+}
+
+// Run executes prog functionally while driving the timing model on a fresh
+// machine, returning both the functional result and the timing statistics.
+func Run(prog *isa.Program, cfg Config) (*sim.Result, Stats, error) {
+	return NewMachine(cfg).Run(prog)
+}
+
+// RunProfiled is Run with per-PC cycle attribution enabled; the returned
+// profile is complete (Σ per-PC cycles == Stats.Cycles).
+func RunProfiled(prog *isa.Program, cfg Config) (*sim.Result, Stats, *CycleProfile, error) {
+	return NewMachine(cfg).RunProfiled(prog)
+}
+
+// RunInjected is RunProfiled with a transient-fault plan armed on the
+// timing model; see Machine.RunInjected.
+func RunInjected(prog *isa.Program, cfg Config, plan *faultinject.Plan) (*sim.Result, Stats, *CycleProfile, error) {
+	return NewMachine(cfg).RunInjected(prog, plan)
 }

@@ -114,47 +114,49 @@ func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem, int) {
 	// waiting for the faulted instruction to finish replaying. Charged to
 	// the faulted instruction.
 	if p.recoverBlockedOn >= 0 && p.recoverBlockedOn >= p.robBase {
-		be := p.entry(p.recoverBlockedOn)
-		if be.issued && be.doneAt > p.cycle {
-			return StallFaultRecovery, be.sub, be.ev.PC
+		i := p.idx(p.recoverBlockedOn)
+		if p.rob.flags[i]&fIssued != 0 && p.rob.doneAt[i] > p.cycle {
+			return StallFaultRecovery, p.rob.sub[i], int(p.rob.pc[i])
 		}
 	}
 	// 1. Oldest dispatched-but-unissued instruction the issue stage saw.
 	for abs := p.head; abs < p.dispatch; abs++ {
-		e := p.entry(abs)
-		if e.issued || !e.dispatched || e.dispatchAt >= p.cycle {
+		i := p.idx(abs)
+		if fl := p.rob.flags[i]; fl&(fDispatched|fIssued) != fDispatched || p.rob.dispatchAt[i] >= p.cycle {
 			continue
 		}
-		for _, d := range e.deps {
-			if d < 0 || d < p.robBase {
+		sub, pc := p.rob.sub[i], int(p.rob.pc[i])
+		for _, d := range [2]int64{p.rob.dep0[i], p.rob.dep1[i]} {
+			if d < p.robBase { // -1, or committed long ago
 				continue
 			}
-			dep := p.entry(d)
-			if !dep.issued || dep.doneAt > p.cycle {
-				if dep.issued && dep.faultKind != faultinject.KindNone {
+			j := p.idx(d)
+			dfl := p.rob.flags[j]
+			if dfl&fIssued == 0 || p.rob.doneAt[j] > p.cycle {
+				if dfl&fIssued != 0 && p.rob.faultKind[j] != faultinject.KindNone {
 					// Producer is replaying a faulted result (or its
 					// writeback was fault-delayed).
-					return StallFaultRecovery, e.sub, e.ev.PC
+					return StallFaultRecovery, sub, pc
 				}
-				if dep.issued && dep.isLoad && dep.dmiss {
-					return StallDCache, e.sub, e.ev.PC
+				if dfl&(fIssued|fIsLoad|fDmiss) == fIssued|fIsLoad|fDmiss {
+					return StallDCache, sub, pc
 				}
-				return StallRAWWait, e.sub, e.ev.PC
+				return StallRAWWait, sub, pc
 			}
 		}
 		// Ready but not issued: with zero instructions issued this cycle
 		// no structural resource was taken, so the only remaining blocker
 		// is a load waiting for an older store's address — a memory RAW.
-		return StallRAWWait, e.sub, e.ev.PC
+		return StallRAWWait, sub, pc
 	}
 	// 2. Misprediction recovery.
 	if p.fetchBlockedOn >= 0 {
 		sub := isa.SubINT
 		pc := UnknownPC
 		if p.fetchBlockedOn >= p.robBase {
-			be := p.entry(p.fetchBlockedOn)
-			sub = be.sub
-			pc = be.ev.PC
+			i := p.idx(p.fetchBlockedOn)
+			sub = p.rob.sub[i]
+			pc = int(p.rob.pc[i])
 		}
 		return StallBpredRecovery, sub, pc
 	}
@@ -168,34 +170,38 @@ func (p *Pipeline) classifyStall() (StallCause, isa.Subsystem, int) {
 	}
 	// 4. Dispatch blocked on a structural limit.
 	if p.dispatch < p.tail {
-		e := p.entry(p.dispatch)
-		if e.dispatchAt <= p.cycle {
-			intSide := e.sub == isa.SubINT || e.isMem
+		i := p.idx(p.dispatch)
+		if p.rob.dispatchAt[i] <= p.cycle {
+			sub, pc := p.rob.sub[i], int(p.rob.pc[i])
+			dst := p.rob.dst[i]
+			intSide := sub == isa.SubINT || p.rob.flags[i]&fIsMem != 0
 			switch {
 			case p.inFlight >= p.cfg.MaxInFlight:
-				return StallROBFull, e.sub, e.ev.PC
+				return StallROBFull, sub, pc
 			case intSide && p.intWinCount >= p.cfg.IntWindow:
-				return StallIntWindowFull, e.sub, e.ev.PC
+				return StallIntWindowFull, sub, pc
 			case !intSide && p.fpWinCount >= p.cfg.FpWindow:
-				return StallFpWindowFull, e.sub, e.ev.PC
-			case e.hasDst && e.dstClass == isa.IntReg && p.intDefs >= p.cfg.IntPhysRegs-32:
-				return StallPhysRegs, e.sub, e.ev.PC
-			case e.hasDst && e.dstClass == isa.FpReg && p.fpDefs >= p.cfg.FpPhysRegs-32:
-				return StallPhysRegs, e.sub, e.ev.PC
+				return StallFpWindowFull, sub, pc
+			case dst >= 0 && dst < 32 && p.intDefs >= p.cfg.IntPhysRegs-32:
+				return StallPhysRegs, sub, pc
+			case dst >= 32 && p.fpDefs >= p.cfg.FpPhysRegs-32:
+				return StallPhysRegs, sub, pc
 			}
 		}
 	}
 	// 5. Execution latency draining at the commit head.
 	if p.head < p.tail {
-		e := p.entry(p.head)
-		if e.issued && e.doneAt > p.cycle {
-			if e.faultKind != faultinject.KindNone {
-				return StallFaultRecovery, e.sub, e.ev.PC
+		i := p.idx(p.head)
+		fl := p.rob.flags[i]
+		if fl&fIssued != 0 && p.rob.doneAt[i] > p.cycle {
+			sub, pc := p.rob.sub[i], int(p.rob.pc[i])
+			if p.rob.faultKind[i] != faultinject.KindNone {
+				return StallFaultRecovery, sub, pc
 			}
-			if e.isLoad && e.dmiss {
-				return StallDCache, e.sub, e.ev.PC
+			if fl&(fIsLoad|fDmiss) == fIsLoad|fDmiss {
+				return StallDCache, sub, pc
 			}
-			return StallRAWWait, e.sub, e.ev.PC
+			return StallRAWWait, sub, pc
 		}
 	}
 	// 6. Pipeline fill/drain.
