@@ -11,6 +11,7 @@
 //	fpibench -write-baseline BENCH_BASELINE.json  # regenerate the checked-in baseline
 //	fpibench -faultsweep     # per-scheme fault-sensitivity sweep (both configs)
 //	fpibench -hostmetrics    # also print per-experiment host-side cost (wall, allocs, GC)
+//	fpibench -fast -fig9     # sampled-timing sweep: bounded-error cycle estimates, much faster
 //
 // Exit codes: 0 success, 1 usage error, 2 input error (e.g. an unreadable
 // baseline file), 3 an experiment failed, 5 a -baseline comparison found a
@@ -61,10 +62,22 @@ func fpibenchMain() error {
 		analysisDelta = flag.Bool("analysis-delta", false, "static-analysis payoff: offload and cycles with the address oracle off vs on, both configurations")
 		writeBaseline = flag.String("write-baseline", "", "regenerate the checked-in cycle baseline: run the classic experiment set and write it as JSON to the given file")
 		hostMetrics   = flag.Bool("hostmetrics", false, "also print a per-experiment host-side cost table (wall time, allocations, GC)")
+		fastMode      = flag.Bool("fast", false, "run cycle experiments in the sampled-timing fast mode (bounded-error sweep; incompatible with baselines and fault sweeps)")
+		fastPeriod    = flag.Int("fast-period", 0, "with -fast: sampling period in units, one in N measured (0 = default)")
 	)
 	flag.Parse()
 	if *faultRate <= 0 || *faultRate > 1 {
 		return fperr.New(fperr.ClassUsage, "-fault-rate %g outside (0,1]", *faultRate)
+	}
+	if *fastMode {
+		// Baselines are exact detailed-cycle contracts and the fault model
+		// needs continuous detailed execution; neither mixes with sampling.
+		if *baseline != "" || *writeBaseline != "" {
+			return fperr.New(fperr.ClassUsage, "-fast produces estimated cycles and cannot be used with -baseline/-write-baseline")
+		}
+		if *faultsw {
+			return fperr.New(fperr.ClassUsage, "-fast does not support -faultsweep; fault injection needs the detailed model")
+		}
 	}
 	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance || *faultsw || *analysisDelta)
 	if *baseline != "" && all {
@@ -82,6 +95,17 @@ func fpibenchMain() error {
 	}
 
 	c := &ctx{s: bench.NewSuite(), quiet: *jsonOut == "-" || *writeBaseline != ""}
+	if *fastMode {
+		sc := uarch.DefaultSampleConfig()
+		if *fastPeriod > 0 {
+			sc.Period = *fastPeriod
+		}
+		c.s.SetFast(sc)
+		if !c.quiet {
+			fmt.Printf("fast mode: sampled timing (period=%d width=%d warmup=%d) — cycle figures are bounded-error estimates\n",
+				sc.Period, sc.Width, sc.Warmup)
+		}
+	}
 	if *jsonOut != "" || *baseline != "" || *writeBaseline != "" {
 		c.rep = bench.NewReport()
 	}

@@ -14,6 +14,13 @@
 // into FPa without its mandated copy) to demonstrate end-to-end that the
 // oracle catches miscompiles and the reducer shrinks them.
 //
+// -fast additionally runs every timed scheme case through the
+// sampled-timing fast mode and asserts fast-mode fidelity: functional
+// output bit-identical to the reference and a closed extrapolated stall
+// ledger. -inject-fast plants a fast-mode divergence (a corrupted sampled
+// exit value) to demonstrate that the fast oracle catches it, persists it
+// as a crasher with a `// fast: on` header, and replays it.
+//
 // -faults additionally runs every timed scheme case under seeded
 // transient-fault injection (rate -fault-rate) and asserts that each
 // detected-and-recovered run still produces architecturally correct output
@@ -54,6 +61,8 @@ func fpifuzzMain() error {
 		reduce       = flag.Bool("reduce", true, "reduce failures to minimal reproducers")
 		out          = flag.String("out", "testdata/crashers", "directory for reproducer files")
 		inject       = flag.Bool("inject", false, "plant a partitioner bug (flipped component assignment) to demo the oracle")
+		fast         = flag.Bool("fast", false, "also check the sampled-timing fast mode on every timed case (requires -timing)")
+		injectFast   = flag.Bool("inject-fast", false, "plant a fast-mode divergence to demo the fast oracle (requires -fast)")
 		faults       = flag.Bool("faults", false, "run timed cases under seeded transient-fault injection (requires -timing)")
 		faultRate    = flag.Float64("fault-rate", 0.002, "with -faults: per-instruction fault probability")
 		verbose      = flag.Bool("v", false, "log every failure in full")
@@ -75,6 +84,18 @@ func fpifuzzMain() error {
 	o.Analysis = useAnalysis
 	if *inject {
 		o.PartitionHook = difftest.InjectFlip
+	}
+	if *fast {
+		if !*timing {
+			return fperr.New(fperr.ClassUsage, "-fast requires -timing")
+		}
+		o.FastTiming = true
+	}
+	if *injectFast {
+		if !*fast {
+			return fperr.New(fperr.ClassUsage, "-inject-fast requires -fast")
+		}
+		o.FastHook = difftest.InjectFastSkew
 	}
 	if *faults {
 		if !*timing {

@@ -14,12 +14,24 @@
 //	fpisim -pprof out.pb.gz file.c         # pprof protobuf profile
 //	fpisim -inject-fault seed=1,kind=any,rate=0.001 file.c  # fault injection
 //	fpisim -timing -hostmetrics file.c     # simulator's own host-side cost
+//	fpisim -fast file.c                    # sampled-timing fast mode
+//	fpisim -fast -fast-period 20 file.c    # sparser sampling for long sweeps
 //
 // Fault injection (-inject-fault, implies -timing) drives the seeded
 // transient-fault model of internal/faultinject: same seed, same program ⇒
 // byte-identical fault trace (printable with -fault-trace). Faults cost
 // recovery cycles, never correctness — the architectural output is computed
 // by the functional simulator and is unaffected by timing-model faults.
+//
+// The fast mode (-fast, implies -timing) replaces the full detailed run
+// with SMARTS-style periodic sampling: most instructions execute
+// functionally (still training the branch predictor and caches) and only
+// periodic detailed windows are timed, extrapolated to a total cycle
+// estimate with a closed stall ledger. The functional output is
+// bit-identical to the detailed model; cycles carry a bounded estimation
+// error (see the root fast-mode acceptance test). Detailed-only surfaces —
+// pipetraces, cycle attribution, fault injection — are rejected under
+// -fast because the windows are discontinuous.
 //
 // Exit codes: 0 success, 1 usage error, 2 input error, 3 internal error,
 // 4 ran successfully but with a degraded (fallen-back) compile scheme.
@@ -72,6 +84,11 @@ func fpisimMain() error {
 		injectSpec   = flag.String("inject-fault", "", "inject transient faults: \"seed=N,kind=K,rate=R\" (implies -timing)")
 		faultTrace   = flag.Bool("fault-trace", false, "with -inject-fault: print the deterministic fault trace")
 		hostMetrics  = flag.Bool("hostmetrics", false, "measure the simulator's own host-side cost (wall time, allocations, GC) around the run")
+		fast         = flag.Bool("fast", false, "sampled-timing fast mode: periodic detailed windows instead of the full cycle-level run (implies -timing)")
+		fastPeriod   = flag.Int("fast-period", 0, "with -fast: sampling period in units, one in N measured (0 = default)")
+		fastWidth    = flag.Int("fast-width", 0, "with -fast: sampling-unit width in instructions (0 = default)")
+		fastWarmup   = flag.Int("fast-warmup", 0, "with -fast: detailed warmup instructions before each measured unit (0 = default, negative = none)")
+		fastSeed     = flag.Uint64("fast-seed", 1, "with -fast: sampling phase seed")
 	)
 	flag.Parse()
 
@@ -124,14 +141,37 @@ func fpisimMain() error {
 		faultCfg = &fc
 	}
 
-	if !*timing && !*compare && faultCfg == nil && (*pipetrace > 0 || *traceJSON != "") {
+	if !*timing && !*compare && !*fast && faultCfg == nil && (*pipetrace > 0 || *traceJSON != "") {
 		fmt.Fprintln(os.Stderr, "fpisim: -pipetrace/-pipetrace-json require -timing; no trace will be produced")
+	}
+
+	var sample uarch.SampleConfig
+	if *fast {
+		sample = uarch.DefaultSampleConfig()
+		if *fastPeriod > 0 {
+			sample.Period = *fastPeriod
+		}
+		if *fastWidth > 0 {
+			sample.Width = *fastWidth
+		}
+		if *fastWarmup != 0 {
+			sample.Warmup = *fastWarmup
+		}
+		sample.Seed = *fastSeed
+		switch {
+		case *pipetrace > 0 || *traceJSON != "":
+			return fperr.New(fperr.ClassUsage, "-fast cannot produce a pipeline trace: the detailed windows are discontinuous")
+		case *profileOut || *annotate || *foldedOut != "" || *pprofOut != "":
+			return fperr.New(fperr.ClassUsage, "-fast does not support cycle attribution (-profile/-annotate/-folded/-pprof); use the detailed model")
+		case faultCfg != nil:
+			return fperr.New(fperr.ClassUsage, "-fast does not support fault injection; use the detailed model")
+		}
 	}
 
 	if *compare {
 		var baseCycles int64
 		for _, name := range []string{"none", "basic", "advanced"} {
-			r := runConfig{cfg: cfg, timing: true, faultCfg: faultCfg}
+			r := runConfig{cfg: cfg, timing: true, faultCfg: faultCfg, fast: *fast, sample: sample}
 			cycles, offl, err := run(src, schemes[name], opts, r)
 			if err != nil {
 				return err
@@ -152,10 +192,10 @@ func fpisimMain() error {
 		profile: *profileOut, annotate: *annotate,
 		foldedOut: *foldedOut, pprofOut: *pprofOut,
 		srcName: srcName, faultCfg: faultCfg, faultTrace: *faultTrace,
-		hostMetrics: *hostMetrics,
+		hostMetrics: *hostMetrics, fast: *fast, sample: sample,
 	}
-	if rc.wantProfile() || rc.faultCfg != nil {
-		rc.timing = true // attribution and fault injection need the cycle-level model
+	if rc.wantProfile() || rc.faultCfg != nil || rc.fast {
+		rc.timing = true // attribution, fault injection, and sampling need the cycle-level model
 	}
 	_, _, err = run(src, sch, opts, rc)
 	return err
@@ -176,6 +216,8 @@ type runConfig struct {
 	faultCfg    *faultinject.Config
 	faultTrace  bool
 	hostMetrics bool
+	fast        bool
+	sample      uarch.SampleConfig
 }
 
 // wantProfile reports whether any output needs per-PC cycle attribution.
@@ -202,10 +244,13 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 
 	m := sim.New(res.Prog)
 	var p *uarch.Pipeline
+	var fm *uarch.Machine
 	var journal *uarch.Journal
 	var cycleProf *uarch.CycleProfile
 	var plan *faultinject.Plan
-	if rc.timing {
+	if rc.timing && rc.fast {
+		fm = uarch.NewMachine(rc.cfg)
+	} else if rc.timing {
 		p = uarch.NewPipeline(rc.cfg)
 		limit := rc.pipetrace
 		if rc.traceJSON != "" && limit == 0 {
@@ -228,8 +273,14 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 	// the numbers match what the run-record store gates on.
 	var out *sim.Result
 	var st uarch.Stats
+	var sst uarch.SampledStats
 	var runErr error
 	simulate := func() {
+		if fm != nil {
+			out, sst, runErr = fm.RunSampled(res.Prog, rc.sample)
+			st = sst.Stats
+			return
+		}
 		out, runErr = m.Run()
 		if runErr == nil && rc.timing {
 			st = p.Finish()
@@ -287,6 +338,17 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		if rc.timing {
 			st.AddTo(reg, obs.PrefixUarch)
 		}
+		if rc.fast {
+			reg.Gauge(obs.PrefixUarch + "fast.windows").Set(float64(sst.Windows))
+			reg.Gauge(obs.PrefixUarch + "fast.measured_instructions").Set(float64(sst.MeasuredInstructions))
+			reg.Gauge(obs.PrefixUarch + "fast.measured_cycles").Set(float64(sst.MeasuredCycles))
+			reg.Gauge(obs.PrefixUarch + "fast.sampled_fraction").Set(sst.SampledFraction)
+			exact := 0.0
+			if sst.Exact {
+				exact = 1
+			}
+			reg.Gauge(obs.PrefixUarch + "fast.exact").Set(exact)
+		}
 		if rc.hostMetrics {
 			hostSample.AddTo(reg, obs.PrefixHost)
 			if rc.timing {
@@ -330,6 +392,11 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		float64(st.IntIdleFPaBusy)/float64(max64(st.Cycles, 1)))
 	fmt.Printf(";   issue-active=%d stall=%d (accounting error=%d)\n",
 		st.IssueActiveCycles, st.TotalStallCycles(), st.StallAccountingError())
+	if rc.fast {
+		fmt.Printf(";   fast mode: windows=%d measured=%d/%d instrs (%.1f%% of stream) exact=%v\n",
+			sst.Windows, sst.MeasuredInstructions, out.Stats.Total,
+			100*sst.SampledFraction, sst.Exact)
+	}
 	if rc.hostMetrics {
 		fmt.Printf(";   host: %s sims/sec=%.3g\n",
 			hostSample, hostmetrics.SimsPerSec(st.Cycles, hostSample.WallNS))

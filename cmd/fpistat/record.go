@@ -45,6 +45,7 @@ func cmdRecord(args []string, stdout io.Writer) error {
 		label        = fs.String("label", "", "free-form annotation (excluded from the content hash)")
 		suite        = fs.Bool("suite", false, "record the bench workload suite instead of source files")
 		gobench      = fs.String("gobench", "", "import `go test -bench` output from the given file (\"-\" for stdin)")
+		fast         = fs.Bool("fast", false, "measure with the sampled-timing fast mode; records are stamped timingMode=fast and gate only against other fast records")
 	)
 	if err := fs.Parse(args); err != nil {
 		return fperr.Wrap(fperr.ClassUsage, err)
@@ -72,6 +73,10 @@ func cmdRecord(args []string, stdout io.Writer) error {
 
 	store := runstore.Open(*storePath)
 	now := time.Now().UTC().Format(time.RFC3339)
+	timingMode := runstore.TimingDetailed
+	if *fast {
+		timingMode = runstore.TimingFast
+	}
 	var recs []runstore.Record
 
 	for _, file := range fs.Args() {
@@ -81,7 +86,14 @@ func cmdRecord(args []string, stdout io.Writer) error {
 		}
 		name := strings.TrimSuffix(filepath.Base(file), ".c")
 		for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
-			guest, host, err := bench.MeasureSource(name, string(src), sch, useAnalysis, cfg, *repeat)
+			var guest runstore.Guest
+			var host *runstore.Host
+			var err error
+			if *fast {
+				guest, host, err = bench.MeasureSourceFast(name, string(src), sch, useAnalysis, cfg, uarch.DefaultSampleConfig(), *repeat)
+			} else {
+				guest, host, err = bench.MeasureSource(name, string(src), sch, useAnalysis, cfg, *repeat)
+			}
 			if err != nil {
 				return fperr.Wrap(fperr.ClassInput, err)
 			}
@@ -89,13 +101,17 @@ func cmdRecord(args []string, stdout io.Writer) error {
 				Kind: runstore.KindSim, Rev: *rev, Program: name,
 				SourceSHA: runstore.SourceHash(src),
 				Config:    cfg.Name, Scheme: sch.String(), Analysis: useAnalysis,
-				Guest: guest, Host: host, CreatedAt: now, Label: *label,
+				TimingMode: timingMode,
+				Guest:      guest, Host: host, CreatedAt: now, Label: *label,
 			})
 		}
 	}
 
 	if *suite {
 		s := bench.NewSuite()
+		if *fast {
+			s.SetFast(uarch.DefaultSampleConfig())
+		}
 		for _, w := range bench.IntWorkloads() {
 			w := w
 			for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
@@ -104,6 +120,7 @@ func cmdRecord(args []string, stdout io.Writer) error {
 					return fperr.Wrap(fperr.ClassInternal, err)
 				}
 				rec.Rev, rec.CreatedAt, rec.Label = *rev, now, *label
+				rec.TimingMode = timingMode
 				recs = append(recs, rec)
 			}
 		}

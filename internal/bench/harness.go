@@ -49,6 +49,19 @@ type Measurement struct {
 	// never serialized into reports — consumers that want it (fpibench
 	// -hostmetrics, fpistat record -suite) read it explicitly.
 	Host *hostmetrics.Sample
+
+	// Sampled is non-nil when the measurement came from the sampled-timing
+	// fast mode (Suite.SetFast): Cycles and the stall ledger are then
+	// bounded-error estimates, not exact counts.
+	Sampled *SampledInfo
+}
+
+// SampledInfo is the fast-mode provenance of a measurement.
+type SampledInfo struct {
+	Windows              int
+	MeasuredInstructions int64
+	SampledFraction      float64
+	Exact                bool
 }
 
 // Suite compiles and runs workloads, caching frontend results (the IR and
@@ -56,6 +69,7 @@ type Measurement struct {
 type Suite struct {
 	mu    sync.Mutex
 	front map[string]*frontRes
+	fast  *uarch.SampleConfig
 }
 
 type frontRes struct {
@@ -67,6 +81,15 @@ type frontRes struct {
 // NewSuite returns an empty measurement cache.
 func NewSuite() *Suite {
 	return &Suite{front: make(map[string]*frontRes)}
+}
+
+// SetFast switches every subsequent Measure call to the sampled-timing
+// fast mode (uarch.RunSampled) with the given sampling parameters. Cycle
+// counts become bounded-error estimates — figures computed from them are
+// sweeps, not gate material — and each Measurement carries its Sampled
+// provenance.
+func (s *Suite) SetFast(sc uarch.SampleConfig) {
+	s.fast = &sc
 }
 
 func (s *Suite) frontend(w *Workload) (*frontRes, error) {
@@ -114,8 +137,21 @@ func (s *Suite) Measure(w *Workload, scheme codegen.Scheme, cfg uarch.Config) (*
 	}
 	var out *sim.Result
 	var st uarch.Stats
+	var sampled *SampledInfo
 	hostSample := hostmetrics.Measure(func() {
-		out, st, err = uarch.Run(res.Prog, cfg)
+		if s.fast != nil {
+			var sst uarch.SampledStats
+			out, sst, err = uarch.RunSampled(res.Prog, cfg, *s.fast)
+			st = sst.Stats
+			sampled = &SampledInfo{
+				Windows:              sst.Windows,
+				MeasuredInstructions: sst.MeasuredInstructions,
+				SampledFraction:      sst.SampledFraction,
+				Exact:                sst.Exact,
+			}
+		} else {
+			out, st, err = uarch.Run(res.Prog, cfg)
+		}
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", w.Name, scheme, err)
@@ -146,6 +182,7 @@ func (s *Suite) Measure(w *Workload, scheme codegen.Scheme, cfg uarch.Config) (*
 		m.IntIdleFPaBusyFrac = float64(st.IntIdleFPaBusy) / float64(st.Cycles)
 	}
 	m.Host = &hostSample
+	m.Sampled = sampled
 	m.IssueActiveCycles = st.IssueActiveCycles
 	m.Stalls = make(map[string]int64)
 	m.StallsBySub = make(map[string]int64)

@@ -24,6 +24,20 @@ import (
 // material for the gate's min/median noise estimators. The functional
 // result is cross-checked against the IR interpreter on every repeat.
 func MeasureSource(name, src string, scheme codegen.Scheme, useAnalysis bool, cfg uarch.Config, repeat int) (runstore.Guest, *runstore.Host, error) {
+	return measureSource(name, src, scheme, useAnalysis, cfg, nil, repeat)
+}
+
+// MeasureSourceFast is MeasureSource under the sampled-timing fast mode:
+// guest cycles and the stall ledger are extrapolated from periodic detailed
+// windows (bounded-error estimates) while the functional result stays exact
+// and interpreter-checked. Records built from it must be stamped
+// runstore.TimingFast so the gate never compares them against detailed
+// records.
+func MeasureSourceFast(name, src string, scheme codegen.Scheme, useAnalysis bool, cfg uarch.Config, sc uarch.SampleConfig, repeat int) (runstore.Guest, *runstore.Host, error) {
+	return measureSource(name, src, scheme, useAnalysis, cfg, &sc, repeat)
+}
+
+func measureSource(name, src string, scheme codegen.Scheme, useAnalysis bool, cfg uarch.Config, fast *uarch.SampleConfig, repeat int) (runstore.Guest, *runstore.Host, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
@@ -47,7 +61,13 @@ func MeasureSource(name, src string, scheme codegen.Scheme, useAnalysis bool, cf
 		var st uarch.Stats
 		var runErr error
 		sample := hostmetrics.Measure(func() {
-			out, st, runErr = uarch.Run(res.Prog, cfg)
+			if fast != nil {
+				var sst uarch.SampledStats
+				out, sst, runErr = uarch.RunSampled(res.Prog, cfg, *fast)
+				st = sst.Stats
+			} else {
+				out, st, runErr = uarch.Run(res.Prog, cfg)
+			}
 		})
 		if runErr != nil {
 			return runstore.Guest{}, nil, fmt.Errorf("%s/%s: %w", name, scheme, runErr)

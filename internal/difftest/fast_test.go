@@ -1,0 +1,98 @@
+package difftest
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFastOracleCleanBaseline: with the sampled-timing stage on, generated
+// programs must still pass the whole oracle — fast mode shares the
+// functional engine, so its output is bit-identical by construction and
+// its extrapolated ledger must close on arbitrary programs, not just
+// testdata.
+func TestFastOracleCleanBaseline(t *testing.T) {
+	o := DefaultOptions()
+	o.FastTiming = true
+	n := int64(10)
+	if testing.Short() {
+		n = 3
+	}
+	for s := int64(1); s <= n; s++ {
+		src := NewGenerator(s, DefaultGenConfig()).Program()
+		if err := Check(src, o); err != nil && !errors.Is(err, ErrSkip) {
+			t.Fatalf("seed %d: %v\n%s", s, err, src)
+		}
+	}
+}
+
+// TestFastMismatchPersistedAndReplayed is the fast-mode crasher-workflow
+// regression test: a planted fast-vs-detailed functional mismatch
+// (InjectFastSkew) must be caught by the sweep as a stage-"fast" mismatch,
+// persisted as a crasher file carrying the `// fast: on` header, and the
+// persisted file must auto-replay through the same fast-enabled oracle —
+// cleanly once the bug (the hook) is gone, mirroring how every other
+// crasher pins its fix.
+func TestFastMismatchPersistedAndReplayed(t *testing.T) {
+	o := DefaultOptions()
+	o.FastTiming = true
+	o.FastHook = InjectFastSkew
+
+	res := Sweep(1, 4, DefaultGenConfig(), o, true)
+	if len(res.Failures) == 0 {
+		t.Fatal("sweep did not catch the planted fast-mode skew")
+	}
+	f := res.Failures[0]
+	var mm *Mismatch
+	if !errors.As(f.Err, &mm) {
+		t.Fatalf("expected a *Mismatch, got %v", f.Err)
+	}
+	if mm.Stage != "fast" {
+		t.Fatalf("planted fast skew reported as stage %q, want \"fast\": %v", mm.Stage, f.Err)
+	}
+	if !strings.Contains(mm.Config, "+fast") {
+		t.Errorf("fast mismatch config %q does not mark the fast mode", mm.Config)
+	}
+	if f.Reduced == "" {
+		t.Errorf("fast-stage failure was not reduced (reduction must keep the fast stage on)")
+	}
+
+	// Persist — the crasher must carry the fast header.
+	dir := t.TempDir()
+	path, err := WriteCrasher(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	if !strings.Contains(body, "// fast: on") {
+		t.Fatalf("crasher misses the fast header:\n%s", body)
+	}
+
+	// Auto-replay: crasherOptions must re-enable the fast stage, and the
+	// file must replay clean without the planted hook (the "fixed" state
+	// TestReplayCrashers pins for every persisted crasher).
+	ro := crasherOptions(body)
+	if !ro.FastTiming {
+		t.Fatal("crasherOptions did not re-enable the fast stage from the header")
+	}
+	if err := Check(body, ro); err != nil && !errors.Is(err, ErrSkip) {
+		t.Errorf("fast crasher does not replay clean without the planted bug: %v", err)
+	}
+
+	// And with the hook re-planted the replay must still fail — the file
+	// really does reproduce the bug it documents.
+	ro.FastHook = InjectFastSkew
+	err = Check(body, ro)
+	if errors.Is(err, ErrSkip) {
+		t.Skip("reference step budget exhausted on replay")
+	}
+	var rm *Mismatch
+	if !errors.As(err, &rm) || rm.Stage != "fast" {
+		t.Errorf("replay with the planted bug did not reproduce a fast mismatch: %v", err)
+	}
+}

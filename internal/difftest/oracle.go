@@ -33,7 +33,7 @@ var ErrSkip = errors.New("difftest: reference run exceeded step budget")
 // Mismatch is an oracle failure: two engines disagreed, or a metamorphic
 // invariant broke.
 type Mismatch struct {
-	Stage  string // "compile", "trap", "output", "partition", "audit", "timing", "profit", "fault"
+	Stage  string // "compile", "trap", "output", "partition", "audit", "timing", "profit", "fault", "fast"
 	Scheme string // scheme case name ("" for cross-scheme checks)
 	Config string // uarch config name ("" outside the timing model)
 	Detail string
@@ -84,6 +84,17 @@ type Options struct {
 	// recovered run still produces architecturally correct output with a
 	// closed stall ledger and cycle profile. Requires Timing.
 	Faults *faultinject.Config
+	// FastTiming additionally runs each timed scheme case through the
+	// sampled-timing fast mode (uarch.RunSampled with default sampling) on
+	// both configurations and asserts fast-mode fidelity: functional output
+	// bit-identical to the reference, exact instruction counts, and a
+	// closed extrapolated stall ledger. Requires Timing.
+	FastTiming bool
+	// FastHook, when non-nil, is called with each fast-mode functional
+	// result before the oracle compares it — the fast-mode analogue of
+	// PartitionHook, used to plant a known divergence and demonstrate
+	// end-to-end that the oracle catches fast-mode bugs.
+	FastHook func(cfgName string, res *sim.Result)
 }
 
 // DefaultOptions enables every check.
@@ -218,6 +229,11 @@ func Check(src string, o Options) error {
 				}
 				if o.Faults != nil {
 					if err := checkInjected(c.name, cfg, res.Prog, *o.Faults, ref, refKind); err != nil {
+						return err
+					}
+				}
+				if o.FastTiming {
+					if err := checkFast(c.name, cfg, res.Prog, ref, refKind, o.FastHook); err != nil {
 						return err
 					}
 				}
@@ -410,6 +426,41 @@ func checkInjected(scheme string, cfg uarch.Config, prog *isa.Program, fc faulti
 	if rec != st.FaultRecoveryCycles {
 		return &Mismatch{Stage: "fault", Scheme: scheme, Config: config,
 			Detail: fmt.Sprintf("trace recovery cycles %d, stats %d", rec, st.FaultRecoveryCycles)}
+	}
+	return nil
+}
+
+// checkFast drives one sampled-timing fast-mode run and asserts its
+// fidelity contract: the functional result is bit-identical to the
+// reference (fast mode shares the functional engine, so any divergence is
+// a bug), the instruction count is exact, and the extrapolated stall
+// ledger closes. Any violation is a stage-"fast" mismatch.
+func checkFast(scheme string, cfg uarch.Config, prog *isa.Program, ref *interp.Result, refKind trap.Kind, hook func(string, *sim.Result)) error {
+	fout, fst, ferr := uarch.RunSampled(prog, cfg, uarch.DefaultSampleConfig())
+	config := cfg.Name + "+fast"
+	if ferr == nil && hook != nil {
+		hook(cfg.Name, fout)
+	}
+	if err := compareRun(scheme, config, ref, refKind, fout, ferr); err != nil {
+		var mm *Mismatch
+		if errors.As(err, &mm) {
+			mm.Stage = "fast"
+		}
+		return err
+	}
+	if ferr != nil {
+		return nil // trap faithfully reproduced; no timing estimate past it
+	}
+	if fst.Cycles <= 0 {
+		return &Mismatch{Stage: "fast", Scheme: scheme, Config: config, Detail: "zero estimated cycles"}
+	}
+	if fst.Instructions != fout.Stats.Total {
+		return &Mismatch{Stage: "fast", Scheme: scheme, Config: config,
+			Detail: fmt.Sprintf("estimate carries %d instructions, simulator %d", fst.Instructions, fout.Stats.Total)}
+	}
+	if e := fst.StallAccountingError(); e != 0 {
+		return &Mismatch{Stage: "fast", Scheme: scheme, Config: config,
+			Detail: fmt.Sprintf("extrapolated stall accounting open by %d cycles", e)}
 	}
 	return nil
 }

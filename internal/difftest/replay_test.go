@@ -11,8 +11,10 @@ import (
 // crasherOptions derives the oracle options a persisted reproducer was
 // found under: the `// analysis: on|off` header line (written by
 // WriteCrasher) selects whether the analysis-sharpened scheme cases run, so
-// analysis-dependent partitions reproduce exactly. Crashers predating the
-// header keep the default (analysis on) — a superset of the original cases.
+// analysis-dependent partitions reproduce exactly, and `// fast: on` adds
+// the sampled-timing fast-mode stage for crashers the fast oracle found.
+// Crashers predating the headers keep the default (analysis on, fast off) —
+// a superset of the original scheme cases.
 func crasherOptions(src string) Options {
 	o := DefaultOptions()
 	for _, line := range strings.Split(src, "\n") {
@@ -24,6 +26,8 @@ func crasherOptions(src string) Options {
 			o.Analysis = true
 		case "analysis: off":
 			o.Analysis = false
+		case "fast: on":
+			o.FastTiming = true
 		}
 	}
 	return o

@@ -9,17 +9,21 @@ import (
 	"strings"
 
 	"fpint/internal/core"
+	"fpint/internal/sim"
 )
 
 // Failure is one sweep failure: the seed, the full generated program, the
 // oracle's verdict, and (when reduction ran) the minimal reproducer.
 // Analysis records whether the sweep's oracle ran the analysis-sharpened
-// scheme cases, so a reduced crasher replays with the same partitions.
+// scheme cases, so a reduced crasher replays with the same partitions;
+// Fast records whether the sampled-timing fast-mode stage ran, so a
+// fast-found crasher replays through the fast oracle too.
 type Failure struct {
 	Seed     int64
 	Src      string
 	Err      error
 	Analysis bool
+	Fast     bool
 	Reduced  string // empty when reduction was skipped or did not apply
 }
 
@@ -47,7 +51,7 @@ func Sweep(seed int64, n int, gcfg GenConfig, o Options, reduce bool) SweepResul
 		if err == nil {
 			continue
 		}
-		f := Failure{Seed: s, Src: src, Err: err, Analysis: o.Analysis}
+		f := Failure{Seed: s, Src: src, Err: err, Analysis: o.Analysis, Fast: o.FastTiming}
 		if reduce {
 			f.Reduced = ReduceFailure(src, err, o)
 		}
@@ -59,13 +63,22 @@ func Sweep(seed int64, n int, gcfg GenConfig, o Options, reduce bool) SweepResul
 // ReduceFailure shrinks src while it keeps failing in the same class as
 // origErr: frontend rejections must stay frontend rejections, oracle
 // mismatches must stay mismatches (of any stage — chasing the exact stage
-// overfits the reducer to incidental detail). Reduction always runs with
+// overfits the reducer to incidental detail). Reduction normally runs with
 // the timing model off; functional divergence is what defines the bug,
-// and the timing model re-runs the same functional simulation anyway.
+// and the timing model re-runs the same functional simulation anyway. The
+// exception is a stage-"fast" mismatch, which only manifests inside the
+// sampled-timing stage, so that stage (and the timing model it requires)
+// stays on.
 func ReduceFailure(src string, origErr error, o Options) string {
 	wasFrontend := errors.Is(origErr, ErrFrontend)
 	ro := o
 	ro.Timing = false
+	ro.FastTiming = false
+	var mm *Mismatch
+	if errors.As(origErr, &mm) && mm.Stage == "fast" {
+		ro.Timing = true
+		ro.FastTiming = true
+	}
 	pred := func(cand string) bool {
 		err := Check(cand, ro)
 		if err == nil || errors.Is(err, ErrSkip) {
@@ -98,6 +111,9 @@ func WriteCrasher(dir string, f Failure) (string, error) {
 		analysisState = "on"
 	}
 	fmt.Fprintf(&sb, "// analysis: %s\n", analysisState)
+	if f.Fast {
+		fmt.Fprintf(&sb, "// fast: on\n")
+	}
 	for _, line := range strings.Split(strings.TrimRight(f.Err.Error(), "\n"), "\n") {
 		fmt.Fprintf(&sb, "// %s\n", line)
 	}
@@ -118,6 +134,16 @@ func WriteCrasher(dir string, f Failure) (string, error) {
 // INT→FPa copy when the partition mandates one, so the flipped node reads
 // a never-written FP register — exactly the class of miscompile the
 // differential oracle exists to catch.
+// InjectFastSkew is a FastHook that plants the fast-mode acceptance bug:
+// it corrupts the sampled run's architectural exit value before the
+// oracle compares it against the reference — the minimal stand-in for a
+// fast path that stops being functionally bit-identical. The oracle must
+// flag it as a stage-"fast" mismatch and persist it through the same
+// crasher workflow as any miscompile.
+func InjectFastSkew(cfgName string, res *sim.Result) {
+	res.Ret ^= 1
+}
+
 func InjectFlip(fn string, part *core.Partition) {
 	if fn != "main" {
 		return

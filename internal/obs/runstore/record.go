@@ -45,6 +45,17 @@ const (
 	KindGoBench = "gobench"
 )
 
+// Timing modes: how KindSim guest cycles were produced. The empty string is
+// the full detailed model (the historical default — omitempty keeps every
+// pre-existing record hash stable); TimingFast marks sampled-timing
+// fast-mode records, whose cycle counts are estimates with a bounded error
+// and must never be gated against detailed records. TimingMode is part of
+// the Key, so the gate treats the two modes as separate trend lines.
+const (
+	TimingDetailed = ""
+	TimingFast     = "fast"
+)
+
 // Guest is the deterministic, simulator-produced half of a record: the
 // functional result and the closed cycle ledger. Identical source, scheme,
 // config, and toolchain produce identical Guest blocks, byte for byte —
@@ -108,17 +119,18 @@ func (h *Host) SimsPerSec(cycles int64) float64 {
 // deterministic subset of the record; CreatedAt, Label, and Host are host
 // noise and take no part in it.
 type Record struct {
-	Schema    string `json:"schema"`
-	Hash      string `json:"hash"`
-	Kind      string `json:"kind"`
-	Rev       string `json:"rev"`
-	Program   string `json:"program"`
-	SourceSHA string `json:"sourceSha,omitempty"`
-	Config    string `json:"config"`
-	Scheme    string `json:"scheme"`
-	Analysis  bool   `json:"analysis"`
-	FaultMode string `json:"faultMode,omitempty"`
-	Guest     Guest  `json:"guest"`
+	Schema     string `json:"schema"`
+	Hash       string `json:"hash"`
+	Kind       string `json:"kind"`
+	Rev        string `json:"rev"`
+	Program    string `json:"program"`
+	SourceSHA  string `json:"sourceSha,omitempty"`
+	Config     string `json:"config"`
+	Scheme     string `json:"scheme"`
+	Analysis   bool   `json:"analysis"`
+	FaultMode  string `json:"faultMode,omitempty"`
+	TimingMode string `json:"timingMode,omitempty"`
+	Guest      Guest  `json:"guest"`
 
 	// Host-noise fields, excluded from Hash.
 	Host      *Host  `json:"host,omitempty"`
@@ -135,16 +147,17 @@ type Record struct {
 // and map keys sorted, so the encoding — and therefore the hash — is
 // canonical.
 type hashedRecord struct {
-	Schema    string `json:"schema"`
-	Kind      string `json:"kind"`
-	Rev       string `json:"rev"`
-	Program   string `json:"program"`
-	SourceSHA string `json:"sourceSha,omitempty"`
-	Config    string `json:"config"`
-	Scheme    string `json:"scheme"`
-	Analysis  bool   `json:"analysis"`
-	FaultMode string `json:"faultMode,omitempty"`
-	Guest     Guest  `json:"guest"`
+	Schema     string `json:"schema"`
+	Kind       string `json:"kind"`
+	Rev        string `json:"rev"`
+	Program    string `json:"program"`
+	SourceSHA  string `json:"sourceSha,omitempty"`
+	Config     string `json:"config"`
+	Scheme     string `json:"scheme"`
+	Analysis   bool   `json:"analysis"`
+	FaultMode  string `json:"faultMode,omitempty"`
+	TimingMode string `json:"timingMode,omitempty"`
+	Guest      Guest  `json:"guest"`
 }
 
 // ComputeHash returns the content hash of the record's deterministic
@@ -153,7 +166,8 @@ func (r *Record) ComputeHash() string {
 	data, err := json.Marshal(hashedRecord{
 		Schema: r.Schema, Kind: r.Kind, Rev: r.Rev, Program: r.Program,
 		SourceSHA: r.SourceSHA, Config: r.Config, Scheme: r.Scheme,
-		Analysis: r.Analysis, FaultMode: r.FaultMode, Guest: r.Guest,
+		Analysis: r.Analysis, FaultMode: r.FaultMode,
+		TimingMode: r.TimingMode, Guest: r.Guest,
 	})
 	if err != nil {
 		// Marshaling plain structs and string-keyed maps cannot fail.
@@ -190,18 +204,20 @@ func SourceHash(src []byte) string {
 // Key identifies a measured configuration: all records sharing a Key are
 // points on the same trend line.
 type Key struct {
-	Kind      string
-	Program   string
-	Config    string
-	Scheme    string
-	Analysis  bool
-	FaultMode string
+	Kind       string
+	Program    string
+	Config     string
+	Scheme     string
+	Analysis   bool
+	FaultMode  string
+	TimingMode string
 }
 
 // Key returns the record's trend-line identity.
 func (r *Record) Key() Key {
 	return Key{Kind: r.Kind, Program: r.Program, Config: r.Config,
-		Scheme: r.Scheme, Analysis: r.Analysis, FaultMode: r.FaultMode}
+		Scheme: r.Scheme, Analysis: r.Analysis, FaultMode: r.FaultMode,
+		TimingMode: r.TimingMode}
 }
 
 // String renders the key compactly ("matmul/4-way/advanced+analysis").
@@ -212,6 +228,9 @@ func (k Key) String() string {
 	}
 	if k.FaultMode != "" {
 		s += "+faults(" + k.FaultMode + ")"
+	}
+	if k.TimingMode != "" {
+		s += "+" + k.TimingMode
 	}
 	if k.Kind == KindGoBench {
 		s = k.Program + "/gobench"
@@ -238,7 +257,10 @@ func SortKeys(keys []Key) {
 		if a.Analysis != b.Analysis {
 			return !a.Analysis
 		}
-		return a.FaultMode < b.FaultMode
+		if a.FaultMode != b.FaultMode {
+			return a.FaultMode < b.FaultMode
+		}
+		return a.TimingMode < b.TimingMode
 	})
 }
 

@@ -35,3 +35,33 @@ func BenchmarkPipelineLoop(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRunSampled times the sampled-timing fast mode on the same loop
+// and warm Machine, at the default sampling parameters — the direct
+// comparison point for BenchmarkPipelineLoop (same workload, same configs;
+// the gap is what sampling buys). Also a steady-state allocation watch for
+// the fast path: allocs/op must stay a small constant (the sampler struct
+// and the estimate's rescaled histograms), independent of program length.
+func BenchmarkRunSampled(b *testing.B) {
+	res, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced, Analysis: true})
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	sc := uarch.DefaultSampleConfig()
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			m := uarch.NewMachine(cfg)
+			if _, _, err := m.RunSampled(res.Prog, sc); err != nil {
+				b.Fatalf("warm-up run: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.RunSampled(res.Prog, sc); err != nil {
+					b.Fatalf("run: %v", err)
+				}
+			}
+		})
+	}
+}

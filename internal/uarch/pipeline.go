@@ -297,23 +297,8 @@ func (p *Pipeline) Reset() {
 	p.icache.Reset()
 	p.dcache.Reset()
 	p.cycle = 0
-	p.pending = p.pending[:0]
-	p.pendHead = 0
-	p.pendBase = 0
-	p.rob.reset()
-	p.robBase, p.head, p.tail, p.dispatch = 0, 0, 0, 0
-	for i := range p.rename {
-		p.rename[i] = -1
-	}
-	p.fetchBlockedOn = -1
-	p.icacheStallUntil = 0
-	p.lastFetchLine = -1
+	p.resetCore()
 	p.faults = nil
-	p.recoverBlockedOn = -1
-	p.intWinCount, p.fpWinCount, p.inFlight = 0, 0, 0
-	p.intDefs, p.fpDefs = 0, 0
-	p.issuedOldestPC = UnknownPC
-	p.issuedOldestSub = isa.SubINT
 	p.resetStats()
 	p.done = false
 	p.journal = nil

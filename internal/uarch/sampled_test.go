@@ -1,0 +1,156 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/uarch"
+)
+
+// sampledTestProg compiles the shared timing-test loop once per test.
+func sampledTestProg(t *testing.T) *codegen.Result {
+	t.Helper()
+	res, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced, Analysis: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+// TestSampledPeriodOneIsDetailed pins the fast mode's degenerate case:
+// Period <= 1 means every instruction is measured, so RunSampled must be
+// the detailed model verbatim — identical cycles, identical stall ledger,
+// no extrapolation — and must say so via Exact.
+func TestSampledPeriodOneIsDetailed(t *testing.T) {
+	res := sampledTestProg(t)
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		det, detSt, err := uarch.Run(res.Prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: detailed: %v", cfg.Name, err)
+		}
+		out, est, err := uarch.RunSampled(res.Prog, cfg, uarch.SampleConfig{Period: 1})
+		if err != nil {
+			t.Fatalf("%s: sampled: %v", cfg.Name, err)
+		}
+		if !est.Exact {
+			t.Errorf("%s: Period=1 estimate not marked Exact", cfg.Name)
+		}
+		if est.Cycles != detSt.Cycles || est.Instructions != detSt.Instructions {
+			t.Errorf("%s: Period=1 cycles %d, want detailed %d", cfg.Name, est.Cycles, detSt.Cycles)
+		}
+		if est.IssueActiveCycles != detSt.IssueActiveCycles || est.StallBySub != detSt.StallBySub {
+			t.Errorf("%s: Period=1 stall ledger differs from detailed run", cfg.Name)
+		}
+		if out.Ret != det.Ret || out.Output != det.Output {
+			t.Errorf("%s: Period=1 functional result differs", cfg.Name)
+		}
+		if est.SampledFraction != 1 {
+			t.Errorf("%s: Period=1 sampled fraction %v, want 1", cfg.Name, est.SampledFraction)
+		}
+	}
+}
+
+// TestSampledDeterministic pins that the estimator is a pure function of
+// (program, config, SampleConfig): repeated runs — including on a reused
+// warm machine — must agree bit-for-bit, and a different seed must still
+// produce a valid (generally different) estimate rather than noise.
+func TestSampledDeterministic(t *testing.T) {
+	res := sampledTestProg(t)
+	cfg := uarch.Config4Way()
+	sc := uarch.SampleConfig{Period: 4, Width: 500, Warmup: 500, Seed: 42}
+
+	_, first, err := uarch.RunSampled(res.Prog, cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uarch.NewMachine(cfg)
+	for i := 0; i < 3; i++ {
+		_, again, err := m.RunSampled(res.Prog, sc)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if again.Cycles != first.Cycles || again.MeasuredInstructions != first.MeasuredInstructions ||
+			again.Windows != first.Windows || again.StallBySub != first.StallBySub {
+			t.Fatalf("run %d: estimate not deterministic: %d cycles (%d measured) vs %d (%d)",
+				i, again.Cycles, again.MeasuredInstructions, first.Cycles, first.MeasuredInstructions)
+		}
+	}
+
+	// A different seed shifts the sampling phase; the estimate must remain
+	// internally consistent whether or not the total moves.
+	sc.Seed = 7
+	_, other, err := uarch.RunSampled(res.Prog, cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Windows == 0 || other.MeasuredInstructions == 0 {
+		t.Errorf("seed 7: no measured windows")
+	}
+	if err := other.StallAccountingError(); err != 0 {
+		t.Errorf("seed 7: ledger not closed: error %d", err)
+	}
+}
+
+// TestSampledLedgerClosure pins the extrapolated stall ledger: in sampled
+// mode the estimate is assembled as IssueActiveCycles + ΣStallBySub, so
+// the closure invariant the detailed model proves cycle-by-cycle must
+// hold exactly on the scaled numbers too, for a spread of sampling
+// parameters on both machine configurations.
+func TestSampledLedgerClosure(t *testing.T) {
+	res := sampledTestProg(t)
+	params := []uarch.SampleConfig{
+		{},                                    // defaults
+		{Period: 2, Width: 200, Warmup: 100},  // dense
+		{Period: 16, Width: 250, Warmup: 750}, // sparse
+		{Period: 4, Width: 500, Warmup: 500, Seed: 99},
+	}
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		m := uarch.NewMachine(cfg)
+		for _, sc := range params {
+			_, est, err := m.RunSampled(res.Prog, sc)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", cfg.Name, sc, err)
+			}
+			if lerr := est.StallAccountingError(); lerr != 0 {
+				t.Errorf("%s %+v: sampled ledger not closed: error %d", cfg.Name, sc, lerr)
+			}
+			if est.Cycles <= 0 {
+				t.Errorf("%s %+v: no cycle estimate", cfg.Name, sc)
+			}
+			var issued int64
+			if est.Exact {
+				continue
+			}
+			issued = est.IssuedINT + est.IssuedFP + est.IssuedFPa
+			if issued != est.Instructions {
+				t.Errorf("%s %+v: issued %d != instructions %d", cfg.Name, sc, issued, est.Instructions)
+			}
+		}
+	}
+}
+
+// TestSampledDetailedModeUnaffected pins that running the fast mode on a
+// machine leaves it fully usable for detailed runs afterwards: the trace
+// hook is restored and the next detailed run matches a fresh machine's.
+func TestSampledDetailedModeUnaffected(t *testing.T) {
+	res := sampledTestProg(t)
+	cfg := uarch.Config8Way()
+	fresh, freshSt, err := uarch.Run(res.Prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uarch.NewMachine(cfg)
+	if _, _, err := m.RunSampled(res.Prog, uarch.DefaultSampleConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := m.Run(res.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != freshSt.Cycles || st.StallBySub != freshSt.StallBySub {
+		t.Errorf("detailed run after sampled run differs: %d cycles vs %d", st.Cycles, freshSt.Cycles)
+	}
+	if out.Ret != fresh.Ret || out.Output != fresh.Output {
+		t.Errorf("functional result differs after sampled run")
+	}
+}
