@@ -53,6 +53,8 @@ func fpibenchMain() error {
 		loads         = flag.Bool("loads", false, "§6.6 load-count changes")
 		slices        = flag.Bool("slices", false, "§4 computational-slice weights")
 		imbalance     = flag.Bool("imbalance", false, "§7.3 load-imbalance statistics")
+		phases        = flag.Bool("phases", false, "per-benchmark phase timeline: segmented occupancy/stall phases on both configurations")
+		phaseWidth    = flag.Int64("phase-width", 1024, "with -phases: timeline window width in cycles")
 		jsonOut       = flag.String("json", "", "also write the selected experiments as JSON to the given file (\"-\" for stdout, suppressing the tables)")
 		baseline      = flag.String("baseline", "", "compare cycle counts against a prior -json report and exit non-zero on regressions")
 		tolerance     = flag.Float64("regress-tolerance", 2.0, "with -baseline: maximum tolerated cycle increase in percent")
@@ -79,7 +81,7 @@ func fpibenchMain() error {
 			return fperr.New(fperr.ClassUsage, "-fast does not support -faultsweep; fault injection needs the detailed model")
 		}
 	}
-	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance || *faultsw || *analysisDelta)
+	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance || *faultsw || *analysisDelta || *phases)
 	if *baseline != "" && all {
 		// Baseline mode defaults to exactly the cycle-bearing experiments.
 		all, *fig9, *fig10, *fpprogs = false, true, true, true
@@ -161,6 +163,11 @@ func fpibenchMain() error {
 	}
 	if all || *fpprogs {
 		run("Floating-point programs (§7.5)", printFpProgs)
+	}
+	if all || *phases {
+		run("Phase timeline (advanced scheme)", func(c *ctx) error {
+			return printPhases(c, *phaseWidth)
+		})
 	}
 	if all || *analysisDelta {
 		run("Static-analysis payoff (analysis off vs on)", printAnalysisDelta)
@@ -487,6 +494,38 @@ func printImbalance(c *ctx) error {
 	}
 	c.table([]string{"Benchmark", "Offload", "INT idle & FPa busy (cycles)"}, out)
 	c.note("\nPaper: for m88ksim the INT subsystem is idle 12.4%% of the cycles in which\nFPa executes — greedy partitioning does not balance load (§7.3/§6.6).")
+	return nil
+}
+
+// printPhases reports the segmented phase timeline of every integer
+// workload under the advanced scheme: where each program's behaviour
+// shifts, the FPa occupancy the dynamic-selection sensor would read, and
+// which stall cause dominated. In fast mode the phases describe the
+// sampled detailed windows and are marked estimated.
+func printPhases(c *ctx, width int64) error {
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		rows, err := c.s.Phases(bench.IntWorkloads(), cfg, width)
+		if err != nil {
+			return err
+		}
+		c.record("phases_"+cfg.Name, "phase timeline", rows)
+		var out [][]string
+		for _, r := range rows {
+			est := ""
+			if r.Estimated {
+				est = " (est)"
+			}
+			out = append(out, []string{r.Workload, r.Config,
+				fmt.Sprintf("%d", r.Phase), r.Windows,
+				fmt.Sprintf("%d%s", r.Cycles, est),
+				fmt.Sprintf("%5.2f", r.IPC),
+				fmt.Sprintf("%5.3f", r.FPaOcc),
+				fmt.Sprintf("%5.1f%%", 100*r.OffloadRatio),
+				fmt.Sprintf("%s %4.1f%%", r.DominantStall, 100*r.DominantStallFrac)})
+		}
+		c.table([]string{"Benchmark", "Config", "Phase", "Windows", "Cycles", "IPC", "FPa occ", "Offload", "Dominant stall"}, out)
+	}
+	c.note("\nPhases are change-points in the windowed occupancy/stall mix (width=%d\ncycles); FPa occ is the per-cycle FPa issue rate the dynamic scheme-selection\nsensor (ROADMAP item 3) reads. Diff two runs with `fpistat phasediff`.", width)
 	return nil
 }
 

@@ -16,6 +16,19 @@
 //	fpisim -timing -hostmetrics file.c     # simulator's own host-side cost
 //	fpisim -fast file.c                    # sampled-timing fast mode
 //	fpisim -fast -fast-period 20 file.c    # sparser sampling for long sweeps
+//	fpisim -timeline file.c                # windowed phase timeline + table
+//	fpisim -timeline-csv t.csv file.c      # plot-ready per-window CSV
+//	fpisim -timeline-json t.json file.c    # fpint-timeline/v1 document
+//
+// The phase timeline (-timeline/-timeline-csv/-timeline-json, implying
+// -timing) arms the pipeline's flight recorder: fixed-width cycle windows
+// of occupancy, stall-mix, and offload telemetry, segmented into program
+// phases by online change-point detection. With -pipetrace-json the
+// windows also become Perfetto counter tracks merged into the trace
+// alongside the per-instruction spans and the compiler's pass spans, so
+// one compile+simulate job emits a single unified trace. Timelines work
+// under -fast too: the windows then cover only the detailed sampling
+// windows and the document is flagged as estimated.
 //
 // Fault injection (-inject-fault, implies -timing) drives the seeded
 // transient-fault model of internal/faultinject: same seed, same program ⇒
@@ -52,6 +65,7 @@ import (
 	"fpint/internal/obs"
 	"fpint/internal/obs/hostmetrics"
 	"fpint/internal/obs/profile"
+	"fpint/internal/obs/timeline"
 	"fpint/internal/sim"
 	"fpint/internal/uarch"
 )
@@ -89,6 +103,10 @@ func fpisimMain() error {
 		fastWidth    = flag.Int("fast-width", 0, "with -fast: sampling-unit width in instructions (0 = default)")
 		fastWarmup   = flag.Int("fast-warmup", 0, "with -fast: detailed warmup instructions before each measured unit (0 = default, negative = none)")
 		fastSeed     = flag.Uint64("fast-seed", 1, "with -fast: sampling phase seed")
+		timelineOut  = flag.Bool("timeline", false, "record a windowed phase timeline and print the per-phase table (implies -timing)")
+		tlWidth      = flag.Int64("timeline-width", 0, "timeline window width in cycles (0 = default 1024)")
+		tlCSV        = flag.String("timeline-csv", "", "write the plot-ready per-window timeline CSV to the given file (\"-\" for stdout; implies -timing)")
+		tlJSON       = flag.String("timeline-json", "", "write the fpint-timeline/v1 JSON document to the given file (\"-\" for stdout; implies -timing)")
 	)
 	flag.Parse()
 
@@ -193,9 +211,10 @@ func fpisimMain() error {
 		foldedOut: *foldedOut, pprofOut: *pprofOut,
 		srcName: srcName, faultCfg: faultCfg, faultTrace: *faultTrace,
 		hostMetrics: *hostMetrics, fast: *fast, sample: sample,
+		timeline: *timelineOut, tlWidth: *tlWidth, tlCSV: *tlCSV, tlJSON: *tlJSON,
 	}
-	if rc.wantProfile() || rc.faultCfg != nil || rc.fast {
-		rc.timing = true // attribution, fault injection, and sampling need the cycle-level model
+	if rc.wantProfile() || rc.faultCfg != nil || rc.fast || rc.wantTimeline() {
+		rc.timing = true // attribution, fault injection, sampling, and timelines need the cycle-level model
 	}
 	_, _, err = run(src, sch, opts, rc)
 	return err
@@ -218,6 +237,27 @@ type runConfig struct {
 	hostMetrics bool
 	fast        bool
 	sample      uarch.SampleConfig
+	timeline    bool
+	tlWidth     int64
+	tlCSV       string
+	tlJSON      string
+}
+
+// defaultTimelineWidth is the window width (in cycles) used when
+// -timeline-width is 0.
+const defaultTimelineWidth = 1024
+
+// wantTimeline reports whether any output needs the flight recorder.
+func (rc *runConfig) wantTimeline() bool {
+	return rc.timeline || rc.tlCSV != "" || rc.tlJSON != ""
+}
+
+// timelineWidth resolves the recorder's window width.
+func (rc *runConfig) timelineWidth() int64 {
+	if rc.tlWidth > 0 {
+		return rc.tlWidth
+	}
+	return defaultTimelineWidth
 }
 
 // wantProfile reports whether any output needs per-PC cycle attribution.
@@ -233,6 +273,11 @@ func (rc *runConfig) quiet() bool {
 
 func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (int64, float64, error) {
 	opts.Scheme = sch
+	if rc.traceJSON != "" {
+		// A traced job carries the compiler's pass spans alongside the
+		// simulation tracks, making one unified trace per compile+simulate.
+		opts.PassLog = &obs.PassLog{}
+	}
 	res, _, err := codegen.CompileSourceWithFallback(src, opts)
 	if err != nil {
 		return 0, 0, err
@@ -248,8 +293,12 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 	var journal *uarch.Journal
 	var cycleProf *uarch.CycleProfile
 	var plan *faultinject.Plan
+	var rec *uarch.TimelineRecorder
 	if rc.timing && rc.fast {
 		fm = uarch.NewMachine(rc.cfg)
+		if rc.wantTimeline() {
+			fm.SetTimelineWidth(rc.timelineWidth())
+		}
 	} else if rc.timing {
 		p = uarch.NewPipeline(rc.cfg)
 		limit := rc.pipetrace
@@ -265,6 +314,10 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		if rc.faultCfg != nil {
 			plan = faultinject.NewPlan(*rc.faultCfg)
 			p.AttachFaults(plan)
+		}
+		if rc.wantTimeline() || rc.traceJSON != "" {
+			// A Perfetto trace gets counter tracks even without -timeline.
+			rec = p.AttachTimeline(rc.timelineWidth())
 		}
 		m.Trace = p.Feed
 	}
@@ -296,8 +349,47 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 		return 0, 0, fperr.Wrap(fperr.ClassInput, runErr)
 	}
 
+	// Build the timeline document (and its phases) once for every surface
+	// that needs it: trace counter tracks, JSON/CSV exports, the registry
+	// envelope, and the human phase table.
+	var tl *timeline.Timeline
+	var phases []timeline.Phase
+	if rec != nil {
+		tl = rec.Build(rc.srcName, rc.cfg)
+	} else if fm != nil && rc.wantTimeline() {
+		tl = fm.Timeline(rc.srcName)
+		if tl != nil && !sst.Exact {
+			tl.Estimated = true
+			tl.SampledFraction = sst.SampledFraction
+		}
+	}
+	if tl != nil {
+		phases = tl.Segment(timeline.DefaultSegConfig())
+	}
+
 	if journal != nil && rc.traceJSON != "" {
-		if err := writeTo(rc.traceJSON, journal.WriteTrace); err != nil {
+		// One unified trace: per-instruction spans (pid 1), timeline
+		// counter tracks (pid 1), compiler pass spans (pid 2).
+		events := journal.TraceEvents()
+		if tl != nil {
+			events = append(events, tl.CounterEvents(1)...)
+		}
+		events = append(events, opts.PassLog.TraceEvents(2)...)
+		obs.SortEventsByTs(events)
+		err := writeTo(rc.traceJSON, func(w io.Writer) error {
+			return obs.WriteTrace(w, events)
+		})
+		if err != nil {
+			return 0, 0, fperr.Wrap(fperr.ClassInput, err)
+		}
+	}
+	if tl != nil && rc.tlJSON != "" {
+		if err := writeTo(rc.tlJSON, tl.WriteJSON); err != nil {
+			return 0, 0, fperr.Wrap(fperr.ClassInput, err)
+		}
+	}
+	if tl != nil && rc.tlCSV != "" {
+		if err := writeTo(rc.tlCSV, tl.WriteCSV); err != nil {
 			return 0, 0, fperr.Wrap(fperr.ClassInput, err)
 		}
 	}
@@ -333,21 +425,31 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 	}
 	if rc.jsonOut != "" || rc.csvOut != "" {
 		reg := obs.NewRegistry()
-		reg.Gauge("run.exit").Set(float64(out.Ret))
+		reg.Gauge(obs.MetricRunExit).Set(float64(out.Ret))
 		out.Stats.AddTo(reg, obs.PrefixSim)
 		if rc.timing {
 			st.AddTo(reg, obs.PrefixUarch)
 		}
 		if rc.fast {
-			reg.Gauge(obs.PrefixUarch + "fast.windows").Set(float64(sst.Windows))
-			reg.Gauge(obs.PrefixUarch + "fast.measured_instructions").Set(float64(sst.MeasuredInstructions))
-			reg.Gauge(obs.PrefixUarch + "fast.measured_cycles").Set(float64(sst.MeasuredCycles))
-			reg.Gauge(obs.PrefixUarch + "fast.sampled_fraction").Set(sst.SampledFraction)
+			reg.Gauge(obs.PrefixUarch + obs.MetricFastWindows).Set(float64(sst.Windows))
+			reg.Gauge(obs.PrefixUarch + obs.MetricFastMeasuredInstructions).Set(float64(sst.MeasuredInstructions))
+			reg.Gauge(obs.PrefixUarch + obs.MetricFastMeasuredCycles).Set(float64(sst.MeasuredCycles))
+			reg.Gauge(obs.PrefixUarch + obs.MetricFastSampledFraction).Set(sst.SampledFraction)
 			exact := 0.0
 			if sst.Exact {
 				exact = 1
 			}
-			reg.Gauge(obs.PrefixUarch + "fast.exact").Set(exact)
+			reg.Gauge(obs.PrefixUarch + obs.MetricFastExact).Set(exact)
+		}
+		if tl != nil {
+			reg.Gauge(obs.PrefixTimeline + obs.MetricTimelineWindows).Set(float64(len(tl.Windows)))
+			reg.Gauge(obs.PrefixTimeline + obs.MetricTimelineWindowWidth).Set(float64(tl.WindowWidth))
+			estimated := 0.0
+			if tl.Estimated {
+				estimated = 1
+			}
+			reg.Gauge(obs.PrefixTimeline + obs.MetricTimelineEstimated).Set(estimated)
+			reg.Gauge(obs.PrefixPhase + obs.MetricPhaseCount).Set(float64(len(phases)))
 		}
 		if rc.hostMetrics {
 			hostSample.AddTo(reg, obs.PrefixHost)
@@ -407,7 +509,27 @@ func run(src string, sch codegen.Scheme, opts codegen.Options, rc runConfig) (in
 			fmt.Print(plan.TraceString())
 		}
 	}
+	if rc.timeline && tl != nil {
+		printPhases(tl, phases, sch, rc.cfg.Name)
+	}
 	return st.Cycles, out.Stats.OffloadFraction(), res.DegradedError()
+}
+
+// printPhases renders the segmenter's phase table.
+func printPhases(tl *timeline.Timeline, phases []timeline.Phase, sch codegen.Scheme, cfgName string) {
+	mode := ""
+	if tl.Estimated {
+		mode = ", estimated from sampled windows"
+	}
+	fmt.Printf("=== phases (%s, %s; %d windows of %d cycles%s) ===\n",
+		sch, cfgName, len(tl.Windows), tl.WindowWidth, mode)
+	fmt.Printf("%3s  %-11s %12s %7s %8s %8s  %s\n",
+		"id", "windows", "cycles", "ipc", "fpa-occ", "offload", "dominant-stall")
+	for _, p := range phases {
+		fmt.Printf("%3d  %4d-%-6d %12d %7.2f %8.3f %7.1f%%  %s (%.1f%%)\n",
+			p.ID, p.FirstWindow, p.LastWindow, p.Cycles, p.IPC, p.FPaOcc,
+			100*p.OffloadRatio, p.DominantStall, 100*p.DominantStallFrac)
+	}
 }
 
 // printFaultReport summarizes the injected-fault trace per kind.

@@ -15,6 +15,7 @@
 //	fpistat gate   [-store runs.jsonl] -baseline base.jsonl      # gate latest records against another store
 //	fpistat gate   [-store runs.jsonl] -baseline-rev REV         # ... against the records taken at REV
 //	fpistat gate   -bench-baseline BENCH_BASELINE.json           # ... regenerate cycle experiments vs the checked-in baseline
+//	fpistat phasediff A.json B.json                              # compare two fpisim -timeline-json runs phase by phase
 //
 // Records wrap the deterministic guest-side results (the closed cycle
 // ledger) in an envelope with the git revision, machine config, scheme,
@@ -50,7 +51,7 @@ const defaultStore = ".fpint/runs.jsonl"
 
 func fpistatMain(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fperr.New(fperr.ClassUsage, "usage: fpistat <record|trend|diff|report|gate> [flags]")
+		return fperr.New(fperr.ClassUsage, "usage: fpistat <record|trend|diff|report|gate|phasediff> [flags]")
 	}
 	switch args[0] {
 	case "record":
@@ -63,11 +64,13 @@ func fpistatMain(args []string, stdout io.Writer) error {
 		return cmdReport(args[1:], stdout)
 	case "gate":
 		return cmdGate(args[1:], stdout)
+	case "phasediff":
+		return cmdPhasediff(args[1:], stdout)
 	case "help", "-h", "-help", "--help":
-		fmt.Fprintln(stdout, "usage: fpistat <record|trend|diff|report|gate> [flags]; see `go doc fpint/cmd/fpistat`")
+		fmt.Fprintln(stdout, "usage: fpistat <record|trend|diff|report|gate|phasediff> [flags]; see `go doc fpint/cmd/fpistat`")
 		return nil
 	}
-	return fperr.New(fperr.ClassUsage, "unknown subcommand %q (want record, trend, diff, report, or gate)", args[0])
+	return fperr.New(fperr.ClassUsage, "unknown subcommand %q (want record, trend, diff, report, gate, or phasediff)", args[0])
 }
 
 // writeTo streams enc to path, with "-" meaning the command's stdout.

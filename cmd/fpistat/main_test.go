@@ -15,9 +15,19 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden fpistat reports")
 
+// goldenDir is resolved absolute at init so tests that chdir (the
+// phasediff golden) still find the goldens.
+var goldenDir = func() string {
+	d, err := filepath.Abs(filepath.Join("..", "..", "testdata", "golden"))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}()
+
 func checkGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
-	golden := filepath.Join("..", "..", "testdata", "golden", name)
+	golden := filepath.Join(goldenDir, name)
 	if *update {
 		if err := os.WriteFile(golden, got, 0o644); err != nil {
 			t.Fatal(err)

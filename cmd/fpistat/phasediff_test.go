@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"fpint/internal/obs/timeline"
+)
+
+// phaseSpec describes one synthetic phase: how many fixed-width windows it
+// spans and what each window looks like.
+type phaseSpec struct {
+	windows int
+	active  int64 // issue-active cycles per 100-cycle window
+	fpa     int64 // FPa instructions issued per window
+	cause   int   // stall cause index absorbing the idle cycles
+}
+
+// fixtureTimeline builds a valid fpint-timeline/v1 document out of
+// 100-cycle windows; goldens need synthetic timelines with a known phase
+// structure, not real simulator output.
+func fixtureTimeline(t *testing.T, program string, phases []phaseSpec) *timeline.Timeline {
+	t.Helper()
+	causes := []string{"raw-wait", "dcache", "bpred-recovery"}
+	tl := &timeline.Timeline{
+		Schema:      timeline.Schema,
+		Program:     program,
+		Config:      "4-way",
+		WindowWidth: 100,
+		IssueWidth:  4,
+		Subsystems:  []string{"INT", "FP", "FPa"},
+		StallCauses: causes,
+	}
+	idx := 0
+	for _, ph := range phases {
+		for i := 0; i < ph.windows; i++ {
+			w := timeline.Window{
+				Index:        idx,
+				StartCycle:   int64(idx) * 100,
+				Cycles:       100,
+				Instructions: ph.active * 2,
+				IssueActive:  ph.active,
+				IssuedINT:    ph.active*2 - ph.fpa,
+				IssuedFPa:    ph.fpa,
+				Stalls:       make([]int64, 3*len(causes)),
+			}
+			w.Stalls[ph.cause] = 100 - ph.active
+			tl.TotalCycles += w.Cycles
+			tl.TotalInstructions += w.Instructions
+			tl.Windows = append(tl.Windows, w)
+			idx++
+		}
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("fixture timeline invalid: %v", err)
+	}
+	return tl
+}
+
+// writeTimeline serialises a fixture document where phasediff can read it.
+func writeTimeline(t *testing.T, path string, tl *timeline.Timeline) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenPhasediff pins the phasediff rendering: B's second phase runs
+// three windows longer under a different dominant stall, and B grows a
+// trailing phase A does not have.
+func TestGoldenPhasediff(t *testing.T) {
+	// Relative operand paths keep the golden free of temp-dir noise.
+	t.Chdir(t.TempDir())
+	a := fixtureTimeline(t, "alpha.c", []phaseSpec{
+		{windows: 6, active: 90, fpa: 40, cause: 0},
+		{windows: 6, active: 30, fpa: 0, cause: 1},
+	})
+	b := fixtureTimeline(t, "alpha.c", []phaseSpec{
+		{windows: 6, active: 90, fpa: 40, cause: 0},
+		{windows: 9, active: 30, fpa: 0, cause: 2},
+		{windows: 5, active: 70, fpa: 10, cause: 0},
+	})
+	b.Estimated = true
+	b.SampledFraction = 0.25
+	writeTimeline(t, "a.json", a)
+	writeTimeline(t, "b.json", b)
+	var buf bytes.Buffer
+	if err := fpistatMain([]string{"phasediff", "a.json", "b.json"}, &buf); err != nil {
+		t.Fatalf("phasediff: %v", err)
+	}
+	checkGolden(t, "fpistat.phasediff.txt", buf.Bytes())
+}
+
+// TestPhasediffUsage pins the operand check.
+func TestPhasediffUsage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fpistatMain([]string{"phasediff", "only-one.json"}, &buf); err == nil {
+		t.Fatal("phasediff with one operand should fail")
+	}
+}

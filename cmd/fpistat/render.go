@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fpint/internal/fperr"
+	"fpint/internal/obs"
 	"fpint/internal/obs/runstore"
 )
 
@@ -159,15 +160,15 @@ func writeDiff(w io.Writer, labelA, labelB string, a, b []runstore.Record) error
 				fmt.Sprintf(format, va), fmt.Sprintf(format, vb), delta)
 		}
 		if k.Kind == runstore.KindSim {
-			row("guest.cycles", float64(ra.Guest.Cycles), float64(rb.Guest.Cycles), "%.0f")
+			row(obs.MetricGuestCycles, float64(ra.Guest.Cycles), float64(rb.Guest.Cycles), "%.0f")
 			row("guest.dyn_instrs", float64(ra.Guest.DynInstrs), float64(rb.Guest.DynInstrs), "%.0f")
 			row("guest.offload_pct", ra.Guest.OffloadPct, rb.Guest.OffloadPct, "%.2f")
 		}
 		if ra.Host != nil && rb.Host != nil && len(ra.Host.Samples) > 0 && len(rb.Host.Samples) > 0 {
-			row("host.min_wall_ns", float64(ra.Host.MinWallNS()), float64(rb.Host.MinWallNS()), "%.0f")
-			row("host.min_allocs", float64(ra.Host.MinAllocs()), float64(rb.Host.MinAllocs()), "%.0f")
+			row(obs.MetricHostMinWallNS, float64(ra.Host.MinWallNS()), float64(rb.Host.MinWallNS()), "%.0f")
+			row(obs.MetricHostMinAllocs, float64(ra.Host.MinAllocs()), float64(rb.Host.MinAllocs()), "%.0f")
 			if k.Kind == runstore.KindSim {
-				row("host.sims_per_sec", ra.Host.SimsPerSec(ra.Guest.Cycles), rb.Host.SimsPerSec(rb.Guest.Cycles), "%.0f")
+				row(obs.PrefixHost+obs.MetricHostSimsPerSec, ra.Host.SimsPerSec(ra.Guest.Cycles), rb.Host.SimsPerSec(rb.Guest.Cycles), "%.0f")
 			}
 		}
 	}
@@ -193,15 +194,15 @@ func writeDiffPair(w io.Writer, labelA, labelB string, ra, rb runstore.Record) e
 			fmt.Sprintf(format, va), fmt.Sprintf(format, vb), delta)
 	}
 	if ra.Kind == runstore.KindSim && rb.Kind == runstore.KindSim {
-		row("guest.cycles", float64(ra.Guest.Cycles), float64(rb.Guest.Cycles), "%.0f")
+		row(obs.MetricGuestCycles, float64(ra.Guest.Cycles), float64(rb.Guest.Cycles), "%.0f")
 		row("guest.dyn_instrs", float64(ra.Guest.DynInstrs), float64(rb.Guest.DynInstrs), "%.0f")
 		row("guest.offload_pct", ra.Guest.OffloadPct, rb.Guest.OffloadPct, "%.2f")
 		row("guest.copies", float64(ra.Guest.Copies), float64(rb.Guest.Copies), "%.0f")
 		row("guest.loads", float64(ra.Guest.Loads), float64(rb.Guest.Loads), "%.0f")
 	}
 	if ra.Host != nil && rb.Host != nil && len(ra.Host.Samples) > 0 && len(rb.Host.Samples) > 0 {
-		row("host.min_wall_ns", float64(ra.Host.MinWallNS()), float64(rb.Host.MinWallNS()), "%.0f")
-		row("host.min_allocs", float64(ra.Host.MinAllocs()), float64(rb.Host.MinAllocs()), "%.0f")
+		row(obs.MetricHostMinWallNS, float64(ra.Host.MinWallNS()), float64(rb.Host.MinWallNS()), "%.0f")
+		row(obs.MetricHostMinAllocs, float64(ra.Host.MinAllocs()), float64(rb.Host.MinAllocs()), "%.0f")
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err

@@ -117,8 +117,10 @@ func CompileWithFallback(mod *ir.Module, opts Options) (*Result, error) {
 
 // CompileSourceWithFallback is CompileSource with the degradation ladder:
 // frontend failures are input errors; backend failures walk the ladder.
+// Frontend stages report to opts.PassLog when one is attached, so a traced
+// compile+simulate job carries the full frontend→backend span sequence.
 func CompileSourceWithFallback(src string, opts Options) (*Result, *ir.Module, error) {
-	mod, prof, err := FrontendPipeline(src)
+	mod, prof, err := FrontendPipelineObserved(src, opts.PassLog)
 	if err != nil {
 		return nil, nil, fperr.Wrap(fperr.ClassInput, err)
 	}

@@ -33,6 +33,37 @@ const (
 	// headline per-run number.
 	MetricOffloadFraction = "offload_fraction"
 
+	// PrefixTimeline and PrefixPhase namespace the flight recorder's
+	// summary metrics: windowed occupancy/stall sampling (timeline.*) and
+	// the online phase segmentation computed from it (phase.*). The full
+	// time series travels as an fpint-timeline/v1 document (see
+	// internal/obs/timeline); the registry carries only its envelope.
+	PrefixTimeline = "timeline."
+	PrefixPhase    = "phase."
+
+	// Timeline envelope metrics: window count, configured window width in
+	// cycles, and whether the windows are fast-mode estimates (1) or
+	// detailed measurements (0).
+	MetricTimelineWindows     = "windows"
+	MetricTimelineWindowWidth = "window_width"
+	MetricTimelineEstimated   = "estimated"
+
+	// MetricPhaseCount is the number of phases the segmenter found.
+	MetricPhaseCount = "count"
+
+	// MetricRunExit is the simulated program's exit value.
+	MetricRunExit = "run.exit"
+
+	// Fast-mode provenance gauges, exported under PrefixUarch by runs that
+	// used the sampled-timing fast path: how many detailed windows were
+	// measured, how much of the stream they covered, and whether the run
+	// degenerated to the exact detailed model.
+	MetricFastWindows              = "fast.windows"
+	MetricFastMeasuredInstructions = "fast.measured_instructions"
+	MetricFastMeasuredCycles       = "fast.measured_cycles"
+	MetricFastSampledFraction      = "fast.sampled_fraction"
+	MetricFastExact                = "fast.exact"
+
 	// PrefixHost namespaces the simulator's own Go-level cost (see
 	// internal/obs/hostmetrics). Host metrics are nondeterministic by
 	// nature and are only exported on explicit request (-hostmetrics) so
@@ -49,4 +80,12 @@ const (
 	// MetricHostSimsPerSec is simulated cycles per host second — the
 	// simulator-throughput headline the ROADMAP's speed work tracks.
 	MetricHostSimsPerSec = "sims_per_sec"
+
+	// Comparison identifiers shared by the run-record gate
+	// (internal/obs/runstore) and the fpistat diff renderer: the exact
+	// guest-cycle contract plus the min-over-samples host aggregates the
+	// noise-aware comparisons key on.
+	MetricGuestCycles   = "guest.cycles"
+	MetricHostMinWallNS = PrefixHost + "min_wall_ns"
+	MetricHostMinAllocs = PrefixHost + "min_allocs"
 )

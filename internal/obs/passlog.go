@@ -44,6 +44,37 @@ func (l *PassLog) Observer() func(pass, unit string, nanos int64, before, after 
 	return l.Add
 }
 
+// TraceEvents renders the log as Chrome trace spans on one "compiler"
+// track of the given process: records are laid out back-to-back from ts 0
+// in execution order, each span lasting the pass's measured wall time in
+// microseconds (clamped to at least 1 so sub-microsecond passes stay
+// visible). Together with the pipeline journal's cycle spans and the
+// timeline counter tracks, this makes one compile+simulate job a single
+// unified trace; the compiler track's clock is host wall time while the
+// simulation tracks tick in cycles, so the two groups are read
+// independently.
+func (l *PassLog) TraceEvents(pid int) []TraceEvent {
+	if l == nil || len(l.Records) == 0 {
+		return nil
+	}
+	events := []TraceEvent{ThreadName(pid, 1, "compiler")}
+	ts := int64(0)
+	for _, r := range l.Records {
+		dur := r.Nanos / 1000
+		if dur < 1 {
+			dur = 1
+		}
+		ev := Span(r.Pass, "compile", ts, dur, pid, 1)
+		ev.Args = map[string]string{"unit": r.Unit}
+		if r.Before != 0 || r.After != 0 {
+			ev.Args["instrs"] = fmt.Sprintf("%d->%d", r.Before, r.After)
+		}
+		events = append(events, ev)
+		ts += dur
+	}
+	return events
+}
+
 // String renders the log as an aligned table.
 func (l *PassLog) String() string {
 	var sb strings.Builder

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"fpint/internal/obs"
 )
 
 // Gate: the regression tribunal. Guest cycles are deterministic, so they
@@ -53,7 +55,7 @@ func (o GateOptions) withDefaults() GateOptions {
 // Delta is one compared metric of one trend line.
 type Delta struct {
 	Key       Key
-	Metric    string // "guest.cycles", "host.min_wall_ns", "host.min_allocs"
+	Metric    string // obs.MetricGuestCycles, obs.MetricHostMinWallNS, obs.MetricHostMinAllocs
 	Old, New  float64
 	Tolerance float64 // percent allowed before Regressed
 	Regressed bool
@@ -121,7 +123,7 @@ func Gate(baseline, current []Record, opts GateOptions) *GateReport {
 	for _, k := range keys {
 		b, c := base[k], cur[k]
 		if k.Kind != KindGoBench {
-			d := Delta{Key: k, Metric: "guest.cycles",
+			d := Delta{Key: k, Metric: obs.MetricGuestCycles,
 				Old: float64(b.Guest.Cycles), New: float64(c.Guest.Cycles),
 				Tolerance: opts.GuestTolerancePct}
 			d.Regressed = d.Pct() > d.Tolerance
@@ -132,7 +134,7 @@ func Gate(baseline, current []Record, opts GateOptions) *GateReport {
 		}
 		bw, cw := b.Host.MinWallNS(), c.Host.MinWallNS()
 		if bw > 0 && cw > 0 {
-			d := Delta{Key: k, Metric: "host.min_wall_ns",
+			d := Delta{Key: k, Metric: obs.MetricHostMinWallNS,
 				Old: float64(bw), New: float64(cw), Tolerance: opts.HostTolerancePct}
 			// Below the noise floor on both sides, wall time is judged
 			// informational only.
@@ -142,7 +144,7 @@ func Gate(baseline, current []Record, opts GateOptions) *GateReport {
 		}
 		ba, ca := b.Host.MinAllocs(), c.Host.MinAllocs()
 		if ba > 0 || ca > 0 {
-			d := Delta{Key: k, Metric: "host.min_allocs",
+			d := Delta{Key: k, Metric: obs.MetricHostMinAllocs,
 				Old: float64(ba), New: float64(ca), Tolerance: opts.HostTolerancePct}
 			d.Regressed = d.Pct() > d.Tolerance
 			rep.Deltas = append(rep.Deltas, d)

@@ -1,0 +1,93 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON encodes the timeline as an fpint-timeline/v1 document. The
+// schema has no maps, so encoding/json emits fields in declaration order
+// and the output is byte-stable for a given run.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	t.Schema = Schema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON decodes and validates an fpint-timeline/v1 document.
+func ReadJSON(r io.Reader) (*Timeline, error) {
+	var t Timeline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("timeline: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ReadFile reads and validates a timeline document from path.
+func ReadFile(path string) (*Timeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteCSV writes the plot-ready projection: one row per window with the
+// derived rates (IPC, issue/slot utilization, occupancy means, hit rates,
+// offload) and one stall-fraction column per cause, summed across
+// subsystems. Column order is fixed; floats use the shortest round-trip
+// form, so the output is byte-stable.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("window,start_cycle,cycles,instructions,ipc,issue_active,slot_util,int_occ,fp_occ,rob_occ,fpa_occ,offload,loads,stores,bpred_hit,icache_hit,dcache_hit,faults")
+	for _, cause := range t.StallCauses {
+		sb.WriteString(",stall_")
+		sb.WriteString(strings.ReplaceAll(cause, "-", "_"))
+	}
+	sb.WriteByte('\n')
+	nc := len(t.StallCauses)
+	for i := range t.Windows {
+		win := &t.Windows[i]
+		cols := []string{
+			strconv.Itoa(win.Index),
+			strconv.FormatInt(win.StartCycle, 10),
+			strconv.FormatInt(win.Cycles, 10),
+			strconv.FormatInt(win.Instructions, 10),
+			formatFloat(win.IPC()),
+			formatFloat(win.IssueActiveFrac()),
+			formatFloat(win.SlotUtil(t.IssueWidth)),
+			formatFloat(win.MeanIntOcc()),
+			formatFloat(win.MeanFpOcc()),
+			formatFloat(win.MeanROBOcc()),
+			formatFloat(win.FPaOcc()),
+			formatFloat(win.OffloadRatio()),
+			strconv.FormatInt(win.Loads, 10),
+			strconv.FormatInt(win.Stores, 10),
+			formatFloat(win.BpredHitRate()),
+			formatFloat(win.ICacheHitRate()),
+			formatFloat(win.DCacheHitRate()),
+			strconv.FormatInt(win.Faults, 10),
+		}
+		for c := 0; c < nc; c++ {
+			cols = append(cols, formatFloat(ratio(win.StallCauseCycles(c, nc), win.Cycles)))
+		}
+		sb.WriteString(strings.Join(cols, ","))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

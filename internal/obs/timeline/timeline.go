@@ -1,0 +1,254 @@
+// Package timeline is the flight-recorder schema: a run rendered as a
+// sequence of fixed-width cycle windows, each carrying the same closed
+// ledger the end-of-run aggregates carry (issue activity, stall mix,
+// occupancy, cache/bpred traffic). Where the stall ledger answers "where
+// did the cycles go", the timeline answers "when" — the per-phase FPa
+// occupancy signal ROADMAP item 3's dynamic scheme selection needs.
+//
+// The document format is fpint-timeline/v1 (JSON), with a plot-ready CSV
+// projection and a Perfetto counter-track export. Like every ledger in
+// this repo the timeline closes: window cycles sum to the run's total and
+// per-window stall mixes sum to the closed stall ledger; Validate checks
+// both, and the root acceptance test enforces them for every testdata
+// program on both Table 1 configurations.
+//
+// The package holds only the schema and its consumers (encoders, the
+// phase segmenter). The allocation-free recorder that fills it from the
+// pipeline loop lives in internal/uarch, which imports this package.
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Schema identifies the document format version.
+const Schema = "fpint-timeline/v1"
+
+// Timeline is one run's windowed time series. All per-window fields are
+// raw integer counter deltas between window boundaries; rates and means
+// are derived on demand so the document stays byte-stable and closure is
+// checkable in exact arithmetic.
+type Timeline struct {
+	Schema  string `json:"schema"`
+	Program string `json:"program,omitempty"`
+	Config  string `json:"config,omitempty"`
+
+	// WindowWidth is the configured window width in cycles; the final
+	// window (and, in fast mode, windows truncated by the sampler) may be
+	// shorter.
+	WindowWidth int64 `json:"window_width"`
+	// IssueWidth is the machine's issue width, the denominator of the
+	// per-window slot-utilization rate.
+	IssueWidth int `json:"issue_width"`
+
+	// Estimated marks fast-mode (sampled-timing) runs: the windows cover
+	// only the detailed warmup+measured cycles, not the whole program, and
+	// SampledFraction records how much of the instruction stream they
+	// measured. Detailed runs set Estimated false and cover every cycle.
+	Estimated       bool    `json:"estimated"`
+	SampledFraction float64 `json:"sampled_fraction,omitempty"`
+
+	// TotalCycles and TotalInstructions are the run totals the windows
+	// must sum to (in fast mode, the totals of the detailed windows).
+	TotalCycles       int64 `json:"total_cycles"`
+	TotalInstructions int64 `json:"total_instructions"`
+
+	// Subsystems and StallCauses name the rows and columns of each
+	// window's flattened stall matrix, in matrix order.
+	Subsystems  []string `json:"subsystems"`
+	StallCauses []string `json:"stall_causes"`
+
+	Windows []Window `json:"windows"`
+}
+
+// Window is one fixed-width sample: counter deltas across [StartCycle,
+// StartCycle+Cycles).
+type Window struct {
+	Index        int   `json:"index"`
+	StartCycle   int64 `json:"start_cycle"`
+	Cycles       int64 `json:"cycles"`
+	Instructions int64 `json:"instructions"`
+
+	// IssueActive counts cycles in which at least one instruction issued;
+	// Cycles − IssueActive equals the window's stall total (the closed
+	// ledger, per window).
+	IssueActive int64 `json:"issue_active"`
+
+	// Instructions issued to each subsystem during the window.
+	IssuedINT int64 `json:"issued_int"`
+	IssuedFP  int64 `json:"issued_fp"`
+	IssuedFPa int64 `json:"issued_fpa"`
+
+	Loads  int64 `json:"loads"`
+	Stores int64 `json:"stores"`
+
+	// Occupancy sums: Σ over the window's cycles of the end-of-cycle
+	// INT-window / FP-window / in-flight counts; divide by Cycles for the
+	// window's mean occupancy.
+	IntOccSum int64 `json:"int_occ_sum"`
+	FpOccSum  int64 `json:"fp_occ_sum"`
+	ROBOccSum int64 `json:"rob_occ_sum"`
+
+	BpredLookups     int64 `json:"bpred_lookups"`
+	BpredMispredicts int64 `json:"bpred_mispredicts"`
+	ICacheAccesses   int64 `json:"icache_accesses"`
+	ICacheMisses     int64 `json:"icache_misses"`
+	DCacheAccesses   int64 `json:"dcache_accesses"`
+	DCacheMisses     int64 `json:"dcache_misses"`
+
+	// Faults counts transient faults injected during the window (nonzero
+	// only under fault injection).
+	Faults int64 `json:"faults"`
+
+	// Stalls is the window's stall matrix, flattened row-major:
+	// Stalls[sub*len(StallCauses)+cause] cycles were charged to that
+	// subsystem and cause. Row/column names are the parent Timeline's
+	// Subsystems and StallCauses.
+	Stalls []int64 `json:"stalls"`
+}
+
+// IssuedTotal returns the instructions issued during the window (across
+// all three subsystems; may exceed Instructions when squashed wrong-path
+// work issued).
+func (w *Window) IssuedTotal() int64 { return w.IssuedINT + w.IssuedFP + w.IssuedFPa }
+
+// IPC returns committed instructions per cycle within the window.
+func (w *Window) IPC() float64 { return ratio(w.Instructions, w.Cycles) }
+
+// IssueActiveFrac returns the fraction of the window's cycles that issued
+// at least one instruction.
+func (w *Window) IssueActiveFrac() float64 { return ratio(w.IssueActive, w.Cycles) }
+
+// SlotUtil returns issued instructions per available issue slot.
+func (w *Window) SlotUtil(issueWidth int) float64 {
+	if issueWidth <= 0 {
+		return 0
+	}
+	return ratio(w.IssuedTotal(), w.Cycles*int64(issueWidth))
+}
+
+// OffloadRatio returns the fraction of issued instructions that went to
+// the augmented FP (FPa) subsystem.
+func (w *Window) OffloadRatio() float64 { return ratio(w.IssuedFPa, w.IssuedTotal()) }
+
+// FPaOcc returns FPa instructions issued per cycle — the occupancy signal
+// dynamic scheme selection keys on.
+func (w *Window) FPaOcc() float64 { return ratio(w.IssuedFPa, w.Cycles) }
+
+// MeanIntOcc, MeanFpOcc and MeanROBOcc return the window's mean
+// end-of-cycle occupancies.
+func (w *Window) MeanIntOcc() float64 { return ratio(w.IntOccSum, w.Cycles) }
+func (w *Window) MeanFpOcc() float64  { return ratio(w.FpOccSum, w.Cycles) }
+func (w *Window) MeanROBOcc() float64 { return ratio(w.ROBOccSum, w.Cycles) }
+
+// BpredHitRate, ICacheHitRate and DCacheHitRate return per-window hit
+// rates (1 when the window saw no traffic of that kind).
+func (w *Window) BpredHitRate() float64 {
+	return 1 - ratio(w.BpredMispredicts, w.BpredLookups)
+}
+func (w *Window) ICacheHitRate() float64 { return 1 - ratio(w.ICacheMisses, w.ICacheAccesses) }
+func (w *Window) DCacheHitRate() float64 { return 1 - ratio(w.DCacheMisses, w.DCacheAccesses) }
+
+// StallTotal returns the window's total stalled cycles.
+func (w *Window) StallTotal() int64 {
+	var n int64
+	for _, v := range w.Stalls {
+		n += v
+	}
+	return n
+}
+
+// StallCauseCycles returns the window's cycles charged to cause (summed
+// across subsystems). numCauses is len(Timeline.StallCauses).
+func (w *Window) StallCauseCycles(cause, numCauses int) int64 {
+	var n int64
+	for i := cause; i < len(w.Stalls); i += numCauses {
+		n += w.Stalls[i]
+	}
+	return n
+}
+
+// EndCycle returns the first cycle after the window.
+func (w *Window) EndCycle() int64 { return w.StartCycle + w.Cycles }
+
+// Validate checks the closed-timeline invariants:
+//
+//   - windows are contiguous from cycle 0 and their cycles sum to
+//     TotalCycles;
+//   - window instructions sum to TotalInstructions;
+//   - every window individually closes: Cycles == IssueActive + Σ Stalls
+//     (the per-window stall ledger);
+//   - every stall matrix has len(Subsystems)×len(StallCauses) entries.
+//
+// The per-window closure plus the cycle sum together imply the run-level
+// ledger closure: summing the windows reproduces IssueActiveCycles and
+// StallBySub exactly.
+func (t *Timeline) Validate() error {
+	if t.Schema != Schema {
+		return fmt.Errorf("timeline: schema %q, want %q", t.Schema, Schema)
+	}
+	wantStalls := len(t.Subsystems) * len(t.StallCauses)
+	var cycles, instrs int64
+	next := int64(0)
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		if w.Index != i {
+			return fmt.Errorf("timeline: window %d has index %d", i, w.Index)
+		}
+		if w.StartCycle != next {
+			return fmt.Errorf("timeline: window %d starts at cycle %d, want %d (gap or overlap)", i, w.StartCycle, next)
+		}
+		if w.Cycles <= 0 {
+			return fmt.Errorf("timeline: window %d covers %d cycles", i, w.Cycles)
+		}
+		if len(w.Stalls) != wantStalls {
+			return fmt.Errorf("timeline: window %d has %d stall entries, want %d", i, len(w.Stalls), wantStalls)
+		}
+		if got := w.IssueActive + w.StallTotal(); got != w.Cycles {
+			return fmt.Errorf("timeline: window %d ledger open: issue_active+stalls = %d, cycles = %d", i, got, w.Cycles)
+		}
+		next = w.EndCycle()
+		cycles += w.Cycles
+		instrs += w.Instructions
+	}
+	if cycles != t.TotalCycles {
+		return fmt.Errorf("timeline: window cycles sum to %d, total_cycles = %d", cycles, t.TotalCycles)
+	}
+	if instrs != t.TotalInstructions {
+		return fmt.Errorf("timeline: window instructions sum to %d, total_instructions = %d", instrs, t.TotalInstructions)
+	}
+	return nil
+}
+
+// Features returns the window's phase-signature vector, every component
+// in [0, 1]: issue-active fraction, offload ratio, then one stall-cycle
+// fraction per cause (summed across subsystems). The segmenter detects
+// change points over this vector; keeping components commensurate makes
+// the L1 distance threshold meaningful.
+func (t *Timeline) Features(w *Window, dst []float64) []float64 {
+	dst = append(dst[:0], w.IssueActiveFrac(), w.OffloadRatio())
+	nc := len(t.StallCauses)
+	for c := 0; c < nc; c++ {
+		dst = append(dst, ratio(w.StallCauseCycles(c, nc), w.Cycles))
+	}
+	return dst
+}
+
+// ratio returns num/den as a float, 0 when den is 0.
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// formatFloat renders a float deterministically (shortest round-trip
+// form), matching the registry encoders' convention.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

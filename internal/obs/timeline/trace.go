@@ -1,0 +1,72 @@
+package timeline
+
+import "fpint/internal/obs"
+
+// CounterEvents renders the timeline as Perfetto counter tracks on pid:
+// one sample per window at the window's start cycle, plus a trailing
+// sample at the run's end so every track spans the whole run. Tracks:
+//
+//	timeline/ipc        ipc
+//	timeline/issue      active, slot_util
+//	timeline/occupancy  int_win, fp_win, rob
+//	timeline/offload    fpa_occ, ratio
+//	timeline/stalls     one series per stall cause with nonzero cycles
+//	timeline/hitrates   bpred, icache, dcache
+//
+// Causes that never stalled are dropped from timeline/stalls to keep the
+// trace small; the JSON/CSV encodings always carry the full mix.
+func (t *Timeline) CounterEvents(pid int) []obs.TraceEvent {
+	if len(t.Windows) == 0 {
+		return nil
+	}
+	nc := len(t.StallCauses)
+	liveCauses := make([]int, 0, nc)
+	for c := 0; c < nc; c++ {
+		for i := range t.Windows {
+			if t.Windows[i].StallCauseCycles(c, nc) > 0 {
+				liveCauses = append(liveCauses, c)
+				break
+			}
+		}
+	}
+	events := make([]obs.TraceEvent, 0, len(t.Windows)*6+6)
+	sample := func(ts int64, w *Window) {
+		events = append(events,
+			obs.CounterEvent("timeline/ipc", ts, pid, map[string]float64{
+				"ipc": w.IPC(),
+			}),
+			obs.CounterEvent("timeline/issue", ts, pid, map[string]float64{
+				"active":    w.IssueActiveFrac(),
+				"slot_util": w.SlotUtil(t.IssueWidth),
+			}),
+			obs.CounterEvent("timeline/occupancy", ts, pid, map[string]float64{
+				"int_win": w.MeanIntOcc(),
+				"fp_win":  w.MeanFpOcc(),
+				"rob":     w.MeanROBOcc(),
+			}),
+			obs.CounterEvent("timeline/offload", ts, pid, map[string]float64{
+				"fpa_occ": w.FPaOcc(),
+				"ratio":   w.OffloadRatio(),
+			}),
+			obs.CounterEvent("timeline/hitrates", ts, pid, map[string]float64{
+				"bpred":  w.BpredHitRate(),
+				"icache": w.ICacheHitRate(),
+				"dcache": w.DCacheHitRate(),
+			}),
+		)
+		if len(liveCauses) > 0 {
+			stalls := make(map[string]float64, len(liveCauses))
+			for _, c := range liveCauses {
+				stalls[t.StallCauses[c]] = ratio(w.StallCauseCycles(c, nc), w.Cycles)
+			}
+			events = append(events, obs.CounterEvent("timeline/stalls", ts, pid, stalls))
+		}
+	}
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		sample(w.StartCycle, w)
+	}
+	last := &t.Windows[len(t.Windows)-1]
+	sample(last.EndCycle(), last)
+	return events
+}

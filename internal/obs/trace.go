@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -13,12 +14,19 @@ import (
 type TraceEvent struct {
 	Name string            // event name (shown on the slice)
 	Cat  string            // comma-separated categories
-	Ph   string            // phase: "X" complete, "i" instant, "M" metadata
+	Ph   string            // phase: "X" complete, "i" instant, "M" metadata, "C" counter
 	Ts   int64             // start timestamp
 	Dur  int64             // duration (complete events only)
 	Pid  int               // process id (track group)
 	Tid  int               // thread id (track)
 	Args map[string]string // extra key/value payload
+
+	// Num holds numeric argument series. Counter ("C") events require
+	// their values to be JSON numbers — the viewer builds one counter
+	// track per event name with one series per key — so they live here
+	// instead of the string Args map. Both maps may be set; keys are
+	// emitted in one sorted order.
+	Num map[string]float64
 }
 
 // ThreadName returns the metadata event that names a track in the viewer.
@@ -40,6 +48,32 @@ func Span(name, cat string, ts, dur int64, pid, tid int) TraceEvent {
 		dur = 0
 	}
 	return TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid}
+}
+
+// CounterEvent returns a counter ("C") event: the viewer renders one
+// counter track named name with one stacked series per key in values. Emit
+// one event per sample point; the track steps to the new values at ts.
+// (Named CounterEvent because Counter is the registry's metric type.)
+func CounterEvent(name string, ts int64, pid int, values map[string]float64) TraceEvent {
+	return TraceEvent{Name: name, Ph: "C", Ts: ts, Pid: pid, Num: values}
+}
+
+// SortEventsByTs stable-sorts events by timestamp, keeping metadata ("M")
+// events first so track names are declared before any slice references
+// them. Merging event streams from independent producers (pipeline
+// journal, timeline counters, compiler spans) and sorting keeps the
+// document in the ts order the trace viewers expect.
+func SortEventsByTs(events []TraceEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Ph == "M", events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if mi {
+			return false // metadata keeps producer order
+		}
+		return events[i].Ts < events[j].Ts
+	})
 }
 
 // WriteTrace encodes events as a Chrome trace-event JSON document:
@@ -69,13 +103,21 @@ func WriteTrace(w io.Writer, events []TraceEvent) error {
 			sb.WriteString(`, "s": "t"`)
 		}
 		fmt.Fprintf(&sb, ", \"pid\": %d, \"tid\": %d", e.Pid, e.Tid)
-		if len(e.Args) > 0 {
+		if len(e.Args)+len(e.Num) > 0 {
 			sb.WriteString(`, "args": {`)
-			for j, k := range sortedKeys(e.Args) {
+			keys := make([]string, 0, len(e.Args)+len(e.Num))
+			keys = append(keys, sortedKeys(e.Args)...)
+			keys = append(keys, sortedKeys(e.Num)...)
+			sort.Strings(keys)
+			for j, k := range keys {
 				if j > 0 {
 					sb.WriteString(", ")
 				}
-				fmt.Fprintf(&sb, "%s: %s", quote(k), quote(e.Args[k]))
+				if v, ok := e.Num[k]; ok {
+					fmt.Fprintf(&sb, "%s: %s", quote(k), formatFloat(v))
+				} else {
+					fmt.Fprintf(&sb, "%s: %s", quote(k), quote(e.Args[k]))
+				}
 			}
 			sb.WriteByte('}')
 		}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCounterEventJSONShape pins the wire shape of counter events: phase
+// "C", numeric (unquoted) arg values, sorted keys, deterministic float
+// formatting — the contract Perfetto's counter-track importer relies on.
+func TestCounterEventJSONShape(t *testing.T) {
+	ev := CounterEvent("timeline/ipc", 1024, 1, map[string]float64{"ipc": 1.25, "active": 0.5})
+	var sb strings.Builder
+	if err := WriteTrace(&sb, []TraceEvent{ev}); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `{"name": "timeline/ipc", "ph": "C", "ts": 1024, "pid": 1, "tid": 0, "args": {"active": 0.5, "ipc": 1.25}}`
+	if !strings.Contains(got, want) {
+		t.Errorf("counter event JSON shape:\ngot document:\n%s\nwant it to contain:\n%s", got, want)
+	}
+	if strings.Contains(got, `"dur"`) {
+		t.Errorf("counter event must not carry a duration:\n%s", got)
+	}
+	if strings.Contains(got, `"1.25"`) || strings.Contains(got, `"0.5"`) {
+		t.Errorf("counter values must be JSON numbers, not strings:\n%s", got)
+	}
+}
+
+// TestCounterMixedArgs checks that string and numeric args merge into one
+// sorted args object.
+func TestCounterMixedArgs(t *testing.T) {
+	ev := CounterEvent("t", 0, 1, map[string]float64{"b": 2})
+	ev.Args = map[string]string{"a": "x", "c": "y"}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, []TraceEvent{ev}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"args": {"a": "x", "b": 2, "c": "y"}`) {
+		t.Errorf("mixed args not merged in sorted key order:\n%s", sb.String())
+	}
+}
+
+// TestSortEventsByTs pins the merge ordering: metadata first in producer
+// order, then every other event by non-decreasing ts with stable order
+// among equals.
+func TestSortEventsByTs(t *testing.T) {
+	events := []TraceEvent{
+		CounterEvent("c", 500, 1, map[string]float64{"v": 1}),
+		Span("late", "x", 300, 10, 1, 1),
+		ThreadName(1, 1, "INT"),
+		Instant("tick", 300, 1, 1),
+		Span("early", "x", 0, 10, 1, 1),
+		ThreadName(1, 2, "FP"),
+	}
+	SortEventsByTs(events)
+	var order []string
+	for _, e := range events {
+		order = append(order, e.Ph+":"+e.Name)
+	}
+	want := []string{"M:thread_name", "M:thread_name", "X:early", "X:late", "i:tick", "C:c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event order after sort = %v, want %v", order, want)
+		}
+	}
+	// Stability among ts ties: the span fed before the instant stays first.
+	if events[3].Name != "late" || events[4].Name != "tick" {
+		t.Errorf("sort not stable for equal timestamps: %v", order)
+	}
+	var prev int64 = -1
+	for _, e := range events[2:] {
+		if e.Ts < prev {
+			t.Fatalf("non-monotonic ts after sort: %v", order)
+		}
+		prev = e.Ts
+	}
+}
+
+// TestPassLogTraceEvents checks the compiler-span export: a named track,
+// back-to-back spans in execution order, microsecond durations clamped to
+// a visible minimum.
+func TestPassLogTraceEvents(t *testing.T) {
+	var l PassLog
+	l.Add("parse", "module", 2500, 0, 0)
+	l.Add("opt", "module", 900, 100, 80)
+	events := l.TraceEvents(2)
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want thread_name + 2 spans", len(events))
+	}
+	if events[0].Ph != "M" || events[0].Args["name"] != "compiler" {
+		t.Fatalf("first event must name the compiler track, got %+v", events[0])
+	}
+	parse, opt := events[1], events[2]
+	if parse.Name != "parse" || parse.Ts != 0 || parse.Dur != 2 {
+		t.Errorf("parse span = %+v, want ts=0 dur=2", parse)
+	}
+	if opt.Name != "opt" || opt.Ts != 2 || opt.Dur != 1 {
+		t.Errorf("opt span = %+v, want ts=2 dur=1 (sub-microsecond clamped)", opt)
+	}
+	if opt.Args["instrs"] != "100->80" {
+		t.Errorf("opt span args = %v, want instrs 100->80", opt.Args)
+	}
+	if (*PassLog)(nil).TraceEvents(1) != nil {
+		t.Error("nil PassLog must yield no events")
+	}
+}

@@ -23,22 +23,35 @@ func TestPipelineZeroSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
-		t.Run(cfg.Name, func(t *testing.T) {
-			m := uarch.NewMachine(cfg)
-			// Warm up: first run grows the ROB columns, pending buffer, and
-			// stats map to their steady-state capacity.
-			if _, _, err := m.Run(res.Prog); err != nil {
-				t.Fatalf("warm-up run: %v", err)
+		for _, timeline := range []bool{false, true} {
+			name := cfg.Name
+			if timeline {
+				name += "/timeline"
 			}
-			allocs := testing.AllocsPerRun(3, func() {
+			t.Run(name, func(t *testing.T) {
+				m := uarch.NewMachine(cfg)
+				if timeline {
+					// The flight recorder must not cost the hot loop any
+					// allocations either: its window columns are recycled
+					// across runs like every other machine buffer.
+					m.SetTimelineWidth(256)
+				}
+				// Warm up: first run grows the ROB columns, pending buffer,
+				// stats map, and timeline columns to their steady-state
+				// capacity.
 				if _, _, err := m.Run(res.Prog); err != nil {
-					t.Fatalf("run: %v", err)
+					t.Fatalf("warm-up run: %v", err)
+				}
+				allocs := testing.AllocsPerRun(3, func() {
+					if _, _, err := m.Run(res.Prog); err != nil {
+						t.Fatalf("run: %v", err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("%s: warm machine allocated %.1f times per run, want 0", name, allocs)
 				}
 			})
-			if allocs != 0 {
-				t.Errorf("%s: warm machine allocated %.1f times per run, want 0", cfg.Name, allocs)
-			}
-		})
+		}
 	}
 }
 

@@ -10,9 +10,11 @@ import (
 // BenchmarkPipelineLoop times the uarch simulator's main pipeline loop on
 // both Table 1 machine configurations, driving the same integer loop the
 // timing sanity tests use on a warm reusable Machine (the steady state the
-// allocation-free refactor targets; allocs/op should read 0). Run with
-// -benchmem and feed the output to `fpistat record -gobench` to track the
-// simulator's host-side cost in the run-record store.
+// allocation-free refactor targets; allocs/op should read 0). The timeline
+// flight recorder is armed, so the number also covers the always-on
+// telemetry cost. Run with -benchmem and feed the output to `fpistat
+// record -gobench` to track the simulator's host-side cost in the
+// run-record store.
 func BenchmarkPipelineLoop(b *testing.B) {
 	res, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced, Analysis: true})
 	if err != nil {
@@ -22,6 +24,7 @@ func BenchmarkPipelineLoop(b *testing.B) {
 		cfg := cfg
 		b.Run(cfg.Name, func(b *testing.B) {
 			m := uarch.NewMachine(cfg)
+			m.SetTimelineWidth(1024)
 			if _, _, err := m.Run(res.Prog); err != nil {
 				b.Fatalf("warm-up run: %v", err)
 			}

@@ -270,10 +270,18 @@ type Pipeline struct {
 	issuedOldestPC  int
 	issuedOldestSub isa.Subsystem
 
+	// Running occupancy sums (Σ over cycles of the end-of-cycle counts)
+	// alongside the occupancy histograms: the timeline recorder differences
+	// them at window boundaries to get per-window occupancy means in O(1).
+	occIntSum int64
+	occFpSum  int64
+	occROBSum int64
+
 	stats   Stats
 	done    bool
 	journal *Journal
 	profile *CycleProfile
+	rec     *TimelineRecorder
 }
 
 // NewPipeline builds a timing model for cfg.
@@ -303,6 +311,7 @@ func (p *Pipeline) Reset() {
 	p.done = false
 	p.journal = nil
 	p.profile = nil
+	p.rec = nil
 }
 
 // resetStats zeroes the statistics in place, recycling the histogram
@@ -321,6 +330,7 @@ func (p *Pipeline) resetStats() {
 		clear(rob)
 	}
 	p.stats = Stats{IssueSlotCycles: slots, IntWinOcc: iw, FpWinOcc: fw, ROBOcc: rob}
+	p.occIntSum, p.occFpSum, p.occROBSum = 0, 0, 0
 }
 
 // Feed appends one traced instruction and advances the clock as needed to
@@ -354,6 +364,9 @@ func (p *Pipeline) Finish() Stats {
 	for p.pendHead < len(p.pending) || p.head < p.tail {
 		p.step()
 	}
+	if p.rec != nil {
+		p.rec.flush(p)
+	}
 	p.stats.Cycles = p.cycle
 	p.stats.BpredLookups = p.bpred.Lookups
 	p.stats.BpredMispredicts = p.bpred.Mispredicts
@@ -377,6 +390,9 @@ func (p *Pipeline) step() {
 	p.dispatchStage()
 	p.fetch()
 	p.sampleOccupancy()
+	if p.rec != nil && p.cycle >= p.rec.nextBoundary {
+		p.rec.roll(p)
+	}
 }
 
 func (p *Pipeline) commit() {

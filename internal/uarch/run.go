@@ -20,6 +20,11 @@ type Machine struct {
 	cfg  Config
 	pipe *Pipeline
 	fm   *sim.Machine
+
+	// Flight recorder (see SetTimelineWidth): machine-owned and recycled
+	// across runs so arming it keeps the zero-allocation property.
+	rec     *TimelineRecorder
+	tlWidth int64
 }
 
 // NewMachine builds a reusable functional+timing machine for cfg.
@@ -36,6 +41,7 @@ func (m *Machine) Config() Config { return m.cfg }
 // both the functional result and the timing statistics.
 func (m *Machine) Run(prog *isa.Program) (*sim.Result, Stats, error) {
 	m.pipe.Reset()
+	m.armTimeline()
 	m.fm.Reset(prog)
 	res, err := m.fm.Run()
 	if err != nil {
@@ -49,6 +55,7 @@ func (m *Machine) Run(prog *isa.Program) (*sim.Result, Stats, error) {
 // allocate in the profile itself, not in the pipeline loop.
 func (m *Machine) RunProfiled(prog *isa.Program) (*sim.Result, Stats, *CycleProfile, error) {
 	m.pipe.Reset()
+	m.armTimeline()
 	prof := m.pipe.AttachProfile()
 	m.fm.Reset(prog)
 	res, err := m.fm.Run()
@@ -66,6 +73,7 @@ func (m *Machine) RunProfiled(prog *isa.Program) (*sim.Result, Stats, *CycleProf
 // trace.
 func (m *Machine) RunInjected(prog *isa.Program, plan *faultinject.Plan) (*sim.Result, Stats, *CycleProfile, error) {
 	m.pipe.Reset()
+	m.armTimeline()
 	prof := m.pipe.AttachProfile()
 	m.pipe.AttachFaults(plan)
 	m.fm.Reset(prog)

@@ -296,6 +296,7 @@ func (m *Machine) RunSampled(prog *isa.Program, sc SampleConfig) (*sim.Result, S
 		return r, ss, nil
 	}
 	m.pipe.Reset()
+	m.armTimeline()
 	s := newSampler(m.pipe, sc)
 	m.fm.Reset(prog)
 	m.fm.Trace = s.feed
@@ -305,6 +306,13 @@ func (m *Machine) RunSampled(prog *isa.Program, sc SampleConfig) (*sim.Result, S
 		return nil, SampledStats{}, err
 	}
 	s.finish()
+	if m.pipe.rec != nil {
+		// Fast mode never calls Pipeline.Finish; close the recorder's
+		// final partial window here. The recorded windows cover the
+		// detailed (warmup+measured) cycles only — the caller flags the
+		// built timeline as estimated.
+		m.pipe.rec.flush(m.pipe)
+	}
 	if s.measInstr == 0 {
 		// Too short to produce a single measured window: fall back to the
 		// detailed model, which is cheap at this size.

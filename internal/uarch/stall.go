@@ -223,6 +223,9 @@ func (p *Pipeline) sampleOccupancy() {
 	p.stats.IntWinOcc[clamp(p.intWinCount, len(p.stats.IntWinOcc)-1)]++
 	p.stats.FpWinOcc[clamp(p.fpWinCount, len(p.stats.FpWinOcc)-1)]++
 	p.stats.ROBOcc[clamp(p.inFlight, len(p.stats.ROBOcc)-1)]++
+	p.occIntSum += int64(p.intWinCount)
+	p.occFpSum += int64(p.fpWinCount)
+	p.occROBSum += int64(p.inFlight)
 }
 
 // StallCauseCycles returns the total cycles attributed to cause across all
