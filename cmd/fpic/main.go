@@ -18,7 +18,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -241,49 +240,11 @@ func fpicMain() error {
 	return res.DegradedError()
 }
 
-// compileDoc is the -json document: the scheme, each function's code-size
-// and spill stats plus its partition audit trail, the pass log, and the
-// degradation-ladder fallback record when the requested scheme failed.
-type compileDoc struct {
-	Scheme   string                `json:"scheme"`
-	Fallback *codegen.Fallback     `json:"fallback,omitempty"`
-	Funcs    map[string]*compileFn `json:"funcs"`
-	Passes   []obs.PassRecord      `json:"passes,omitempty"`
-}
-
-type compileFn struct {
-	StaticInsts int         `json:"staticInsts"`
-	SpillSlots  int         `json:"spillSlots"`
-	SpillLoads  int         `json:"spillLoads"`
-	SpillStores int         `json:"spillStores"`
-	Audit       *core.Audit `json:"audit,omitempty"`
-}
-
+// writeCompileJSON emits the -json compile report. The document itself
+// lives in codegen (CompileReport) so the fpintd daemon serves the same
+// shape.
 func writeCompileJSON(w io.Writer, scheme string, fns []*ir.Func, res *codegen.Result, plog *obs.PassLog) error {
-	doc := compileDoc{Scheme: scheme, Fallback: res.Fallback, Funcs: make(map[string]*compileFn)}
-	for _, fn := range fns {
-		cf := &compileFn{}
-		if st := res.Stats[fn.Name]; st != nil {
-			cf.StaticInsts = st.StaticInsts
-			cf.SpillSlots = st.SpillSlots
-			cf.SpillLoads = st.SpillLoads
-			cf.SpillStores = st.SpillStores
-		}
-		if p := res.Partitions[fn.Name]; p != nil {
-			cf.Audit = p.Audit
-		}
-		doc.Funcs[fn.Name] = cf
-	}
-	if plog != nil {
-		doc.Passes = plog.Records
-	}
-	data, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	_, err = w.Write(data)
-	return err
+	return codegen.BuildCompileReport(scheme, fns, res, plog).WriteJSON(w)
 }
 
 // writeTo streams enc to path, with "-" meaning stdout.

@@ -67,6 +67,13 @@ type Options struct {
 	// machine-instruction counts produced.
 	PassLog *obs.PassLog
 
+	// Frontend bounds the frontend's self-profile interpreter run (see
+	// FrontendBudget). The zero value keeps the interpreter defaults; a
+	// service compiling untrusted source sets a step budget and a
+	// cancellation hook so an adversarial program cannot pin a worker in
+	// the profile stage.
+	Frontend FrontendBudget
+
 	// PartitionHook, when non-nil, runs after each function's partition
 	// has been computed and validated and may mutate it in place. It
 	// exists for the differential-testing subsystem to inject known-bad

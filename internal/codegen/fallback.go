@@ -120,7 +120,7 @@ func CompileWithFallback(mod *ir.Module, opts Options) (*Result, error) {
 // Frontend stages report to opts.PassLog when one is attached, so a traced
 // compile+simulate job carries the full frontend→backend span sequence.
 func CompileSourceWithFallback(src string, opts Options) (*Result, *ir.Module, error) {
-	mod, prof, err := FrontendPipelineObserved(src, opts.PassLog)
+	mod, prof, err := FrontendPipelineBudgeted(src, opts.PassLog, opts.Frontend)
 	if err != nil {
 		return nil, nil, fperr.Wrap(fperr.ClassInput, err)
 	}

@@ -20,11 +20,33 @@ func FrontendPipeline(src string) (*ir.Module, *interp.Profile, error) {
 	return FrontendPipelineObserved(src, nil)
 }
 
+// FrontendBudget bounds the frontend's self-profile interpreter run — the
+// one stage of compilation that executes the user's program and therefore
+// inherits its runtime. A long-running service cannot afford an unbounded
+// profile run on adversarial input: StepLimit caps the dynamic IR
+// instruction count (0 keeps the interpreter's 2e9 default) and RunHook is
+// the cooperative cancellation check threaded into the interpreter step
+// loop (see interp.Machine.SetRunHook), so a job deadline aborts the
+// profile run the same way it aborts a simulation.
+type FrontendBudget struct {
+	StepLimit int64
+	RunHook   func(steps int64) error
+	// HookEvery is the RunHook cadence in steps (0 = the interpreter's
+	// default interval).
+	HookEvery int64
+}
+
 // FrontendPipelineObserved is FrontendPipeline with per-stage and per-pass
 // instrumentation: every frontend stage and every optimizer pass appends a
 // record (name, unit, wall time, IR instruction delta) to plog. A nil plog
 // disables instrumentation.
 func FrontendPipelineObserved(src string, plog *obs.PassLog) (*ir.Module, *interp.Profile, error) {
+	return FrontendPipelineBudgeted(src, plog, FrontendBudget{})
+}
+
+// FrontendPipelineBudgeted is FrontendPipelineObserved with the
+// self-profile run bounded by budget.
+func FrontendPipelineBudgeted(src string, plog *obs.PassLog, budget FrontendBudget) (*ir.Module, *interp.Profile, error) {
 	stage := func(name string, mod *ir.Module, start time.Time, before int) {
 		if plog == nil {
 			return
@@ -65,7 +87,14 @@ func FrontendPipelineObserved(src string, plog *obs.PassLog) (*ir.Module, *inter
 
 	start = time.Now()
 	before := moduleInstrs(mod)
-	res, err := interp.New(mod).Run()
+	im := interp.New(mod)
+	if budget.StepLimit > 0 {
+		im.SetStepLimit(budget.StepLimit)
+	}
+	if budget.RunHook != nil {
+		im.SetRunHook(budget.RunHook, budget.HookEvery)
+	}
+	res, err := im.Run()
 	if err != nil {
 		return nil, nil, fmt.Errorf("profile run: %w", err)
 	}

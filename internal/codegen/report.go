@@ -1,0 +1,70 @@
+package codegen
+
+import (
+	"encoding/json"
+	"io"
+
+	"fpint/internal/core"
+	"fpint/internal/ir"
+	"fpint/internal/obs"
+)
+
+// CompileReport is the machine-readable compile-report document shared by
+// `fpic -json` and the fpintd daemon's compile/partition responses: the
+// scheme that produced the code, each function's code-size and spill stats
+// plus its partition audit trail, the pass log, and the degradation-ladder
+// fallback record when the requested scheme failed. The JSON shape is
+// pinned by the fpic golden tests; both producers emit the identical
+// document.
+type CompileReport struct {
+	Scheme   string                        `json:"scheme"`
+	Fallback *Fallback                     `json:"fallback,omitempty"`
+	Funcs    map[string]*CompileFuncReport `json:"funcs"`
+	Passes   []obs.PassRecord              `json:"passes,omitempty"`
+}
+
+// CompileFuncReport is one function's row in the compile report.
+type CompileFuncReport struct {
+	StaticInsts int         `json:"staticInsts"`
+	SpillSlots  int         `json:"spillSlots"`
+	SpillLoads  int         `json:"spillLoads"`
+	SpillStores int         `json:"spillStores"`
+	Audit       *core.Audit `json:"audit,omitempty"`
+}
+
+// BuildCompileReport assembles the report for a compiled module. The
+// scheme string names the *requested* scheme; res.Fallback records the
+// rung that actually produced the code when they differ. A nil plog omits
+// the pass section.
+func BuildCompileReport(scheme string, fns []*ir.Func, res *Result, plog *obs.PassLog) *CompileReport {
+	doc := &CompileReport{Scheme: scheme, Fallback: res.Fallback, Funcs: make(map[string]*CompileFuncReport)}
+	for _, fn := range fns {
+		cf := &CompileFuncReport{}
+		if st := res.Stats[fn.Name]; st != nil {
+			cf.StaticInsts = st.StaticInsts
+			cf.SpillSlots = st.SpillSlots
+			cf.SpillLoads = st.SpillLoads
+			cf.SpillStores = st.SpillStores
+		}
+		if p := res.Partitions[fn.Name]; p != nil {
+			cf.Audit = p.Audit
+		}
+		doc.Funcs[fn.Name] = cf
+	}
+	if plog != nil {
+		doc.Passes = plog.Records
+	}
+	return doc
+}
+
+// WriteJSON encodes the report with two-space indentation; map keys are
+// marshalled sorted, so the document is deterministic.
+func (r *CompileReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

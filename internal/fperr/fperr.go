@@ -13,10 +13,16 @@
 //	5  performance regression (a gate comparison found guest cycles or host
 //	   metrics worse than the baseline beyond tolerance; the code is
 //	   functionally correct)
+//	6  unavailable (a service refused the work: queue saturated or the
+//	   process is draining; retrying later is expected to succeed)
 //
 // Errors carry their class through wrapping, so deep layers can classify
 // once (e.g. the partition verifier tags its report as internal) and the
 // CLI rim only calls ExitCode.
+//
+// The fpintd daemon reuses the same taxonomy over HTTP: every class maps
+// to exactly one response status via HTTPStatus, pinned by a unit test so
+// a newly added class cannot silently fall through to a default 500.
 package fperr
 
 import (
@@ -49,15 +55,26 @@ const (
 	// correct — the distinct class lets CI tell "the change is slow" apart
 	// from "the toolchain is broken".
 	ClassRegression
+	// ClassUnavailable: a service declined the work without attempting it —
+	// the admission queue is full or the process is draining for shutdown
+	// (exit 6, HTTP 503). The request itself may be perfectly valid;
+	// retrying after backoff is the expected recovery.
+	ClassUnavailable
+
+	// numClasses bounds the defined classes; the status and name tables are
+	// sized by it so adding a class without extending them is a compile- or
+	// test-time failure, never a silent default.
+	numClasses
 )
 
-var classNames = [...]string{
-	ClassNone:       "none",
-	ClassUsage:      "usage",
-	ClassInput:      "input",
-	ClassInternal:   "internal",
-	ClassDegraded:   "degraded",
-	ClassRegression: "regression",
+var classNames = [numClasses]string{
+	ClassNone:        "none",
+	ClassUsage:       "usage",
+	ClassInput:       "input",
+	ClassInternal:    "internal",
+	ClassDegraded:    "degraded",
+	ClassRegression:  "regression",
+	ClassUnavailable: "unavailable",
 }
 
 // String names the class.
@@ -141,6 +158,58 @@ func ExitCode(err error) int {
 		return 4
 	case ClassRegression:
 		return 5
+	case ClassUnavailable:
+		return 6
 	}
 	return 3
+}
+
+// classHTTPStatus is the daemon's class → HTTP status contract. Degraded
+// intentionally shares 200 with success: the degradation ladder produced a
+// correct program, and the response body's "degraded" field carries the
+// distinction — an HTTP error status would make every retrying client
+// re-submit work that already succeeded.
+var classHTTPStatus = [numClasses]int{
+	ClassNone:        200,
+	ClassUsage:       400, // the request itself is malformed
+	ClassInput:       422, // well-formed request, misbehaving program (incl. traps and blown budgets)
+	ClassInternal:    500, // toolchain bug (incl. recovered worker panics)
+	ClassDegraded:    200, // succeeded via the fallback ladder; body carries degraded=true
+	ClassRegression:  500, // gate classes never cross the service boundary; treat as internal
+	ClassUnavailable: 503, // load shed or draining; Retry-After accompanies it
+}
+
+// HTTPStatus maps the class to its daemon response status. Classes outside
+// the defined range (which New/Wrap never produce) report 500, matching
+// ExitCode's assume-a-bug conservatism.
+func (c Class) HTTPStatus() int {
+	if c >= 0 && c < numClasses {
+		if s := classHTTPStatus[c]; s != 0 {
+			return s
+		}
+	}
+	return 500
+}
+
+// Classes returns every defined class in order. Consumers that keep
+// per-class tables (the daemon's outcome counters, the loadgen's expected
+// statuses) iterate this instead of hard-coding the list, so a new class
+// reaches them automatically.
+func Classes() []Class {
+	out := make([]Class, 0, int(numClasses))
+	for c := ClassNone; c < numClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ParseClass inverts Class.String for the defined classes, letting clients
+// round-trip the class carried in a response body.
+func ParseClass(name string) (Class, bool) {
+	for c := ClassNone; c < numClasses; c++ {
+		if classNames[c] == name {
+			return c, true
+		}
+	}
+	return ClassNone, false
 }

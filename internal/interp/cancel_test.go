@@ -1,0 +1,59 @@
+package interp_test
+
+import (
+	"testing"
+
+	"fpint/internal/interp"
+	"fpint/internal/trap"
+)
+
+const cancelLoopSrc = `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 1000000; i++) s = s + i;
+	return s;
+}`
+
+// TestInterpRunHookCancels: the interpreter's cooperative run hook must
+// abort the step loop with the hook's error, classified as the trap the
+// hook raised, at the configured cadence.
+func TestInterpRunHookCancels(t *testing.T) {
+	mod := compile(t, cancelLoopSrc)
+	m := interp.New(mod)
+	var calls int
+	var lastSteps int64
+	m.SetRunHook(func(steps int64) error {
+		calls++
+		lastSteps = steps
+		if calls >= 2 {
+			return trap.New(trap.KindCancelled, "interp", "deadline exceeded at step %d", steps)
+		}
+		return nil
+	}, 500)
+	_, err := m.Run()
+	if got := trap.KindOf(err); got != trap.KindCancelled {
+		t.Fatalf("cancelled run classified %v (err=%v), want cancelled", got, err)
+	}
+	if calls != 2 || lastSteps != 1000 {
+		t.Errorf("hook cadence wrong: %d calls, last at step %d (want 2 calls, step 1000)", calls, lastSteps)
+	}
+}
+
+// TestInterpRunHookNeutralWhenIdle: an armed hook that never trips leaves
+// the run's result, step count, and profile untouched.
+func TestInterpRunHookNeutralWhenIdle(t *testing.T) {
+	mod := compile(t, cancelLoopSrc)
+	bare, err := interp.New(mod).Run()
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+	m := interp.New(mod)
+	m.SetRunHook(func(int64) error { return nil }, 0) // 0 = default cadence
+	hooked, err := m.Run()
+	if err != nil {
+		t.Fatalf("hooked run: %v", err)
+	}
+	if hooked.Ret != bare.Ret || hooked.Steps != bare.Steps || hooked.Output != bare.Output {
+		t.Errorf("hooked run differs: ret %d/%d steps %d/%d", hooked.Ret, bare.Ret, hooked.Steps, bare.Steps)
+	}
+}

@@ -68,6 +68,12 @@ type Machine struct {
 	stores  int64
 	maxStep int64
 
+	// Cooperative cancellation (see SetRunHook): hookLeft counts down to
+	// the next check.
+	hook      func(steps int64) error
+	hookEvery int64
+	hookLeft  int64
+
 	profile *Profile
 }
 
@@ -103,6 +109,25 @@ func New(mod *ir.Module) *Machine {
 
 // SetStepLimit bounds the number of dynamic IR instructions (default 2e9).
 func (m *Machine) SetStepLimit(n int64) { m.maxStep = n }
+
+// DefaultHookInterval is the step cadence used by SetRunHook when the
+// caller passes every <= 0.
+const DefaultHookInterval = 1024
+
+// SetRunHook installs a cooperative cancellation check: hook is called
+// every `every` dynamic IR instructions (DefaultHookInterval when every
+// <= 0) with the current step count, and a non-nil return aborts the run
+// with that error — conventionally a trap.KindCancelled trap, so daemon
+// deadlines and the step-limit watchdog share one abort mechanism. A nil
+// hook clears it.
+func (m *Machine) SetRunHook(hook func(steps int64) error, every int64) {
+	if every <= 0 {
+		every = DefaultHookInterval
+	}
+	m.hook = hook
+	m.hookEvery = every
+	m.hookLeft = every
+}
 
 // GlobalAddr returns the base address assigned to global name.
 func (m *Machine) GlobalAddr(name string) int64 { return m.globalAddr[name] }
@@ -189,6 +214,15 @@ func (m *Machine) callFunc(fn *ir.Func, args []value) (value, error) {
 			m.steps++
 			if m.steps > m.maxStep {
 				return value{}, trap.New(trap.KindStepLimit, "interp", "step limit exceeded in %s", fn.Name)
+			}
+			if m.hook != nil {
+				m.hookLeft--
+				if m.hookLeft <= 0 {
+					m.hookLeft = m.hookEvery
+					if err := m.hook(m.steps); err != nil {
+						return value{}, err
+					}
+				}
 			}
 			switch in.Op {
 			case ir.OpNop:

@@ -81,6 +81,34 @@ const (
 	// simulator-throughput headline the ROADMAP's speed work tracks.
 	MetricHostSimsPerSec = "sims_per_sec"
 
+	// PrefixService namespaces the fpintd daemon's own operational
+	// counters in /statsz. They are maintained as atomics inside
+	// internal/service (Registry itself is not concurrency-safe) and
+	// rendered into a fresh registry per /statsz request.
+	PrefixService = "service."
+
+	// Admission and execution counters: accepted into a queue, refused
+	// with 503 (queue full or draining), completed (any outcome), and
+	// worker panics converted to 500s by the per-job recover barrier.
+	MetricServiceAccepted        = "jobs_accepted"
+	MetricServiceShed            = "jobs_shed"
+	MetricServiceCompleted       = "jobs_completed"
+	MetricServicePanicsRecovered = "panics_recovered"
+
+	// Per-class outcome counters are emitted as
+	// service.outcome.<class> using the fperr class names.
+	MetricServiceOutcomePrefix = "outcome."
+
+	// Artifact-cache counters: lookups that hit, missed, or found a
+	// tampered entry (refused and recomputed), plus the live entry count.
+	MetricServiceCacheHits     = "cache_hits"
+	MetricServiceCacheMisses   = "cache_misses"
+	MetricServiceCacheTampered = "cache_tampered"
+	MetricServiceCacheEntries  = "cache_entries"
+
+	// MetricServiceDraining is 1 once SIGTERM started the drain.
+	MetricServiceDraining = "draining"
+
 	// Comparison identifiers shared by the run-record gate
 	// (internal/obs/runstore) and the fpistat diff renderer: the exact
 	// guest-cycle contract plus the min-over-samples host aggregates the

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"fpint/internal/fperr"
+)
+
+// TestCacheKeyStability pins the content address of a fixed job to a
+// literal. The key is the cache's identity across process restarts and
+// the dedup boundary between daemons; an accidental change to the key
+// recipe (field order, a forgotten field, a changed prefix) breaks this
+// literal, not production hit rates.
+func TestCacheKeyStability(t *testing.T) {
+	j, err := parseRequest(KindSimulate, &Request{
+		Source: "int main() { return 42; }",
+		Scheme: "advanced",
+		Config: "8way",
+		Timing: "fast",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	const want = "33b064d407417f9a037c9fddbb29a8e1e2bacb10617b6f1c49524485a510ee27"
+	if got := j.cacheKey(); got != want {
+		t.Errorf("cacheKey = %q, want pinned %q", got, want)
+	}
+}
+
+// TestCacheKeySensitivity: every content field must move the key, and the
+// deadline must not (it is policy, not content).
+func TestCacheKeySensitivity(t *testing.T) {
+	base := Request{Source: "int main() { return 0; }", Scheme: "advanced", Config: "4way", Timing: "detailed"}
+	key := func(kind string, req Request) string {
+		t.Helper()
+		j, err := parseRequest(kind, &req)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return j.cacheKey()
+	}
+	ref := key(KindSimulate, base)
+
+	mutations := map[string]string{}
+	{
+		r := base
+		r.Source = "int main() { return 1; }"
+		mutations["source"] = key(KindSimulate, r)
+	}
+	{
+		r := base
+		r.Scheme = "basic"
+		mutations["scheme"] = key(KindSimulate, r)
+	}
+	{
+		r := base
+		r.Config = "8way"
+		mutations["config"] = key(KindSimulate, r)
+	}
+	{
+		r := base
+		r.Analysis = "on"
+		mutations["analysis"] = key(KindSimulate, r)
+	}
+	{
+		r := base
+		r.Timing = "fast"
+		mutations["timing"] = key(KindSimulate, r)
+	}
+	{
+		r := base
+		r.StepBudget = 5000
+		mutations["stepBudget"] = key(KindSimulate, r)
+	}
+	mutations["kind"] = key(KindCompile, Request{Source: base.Source, Scheme: base.Scheme, Config: base.Config})
+
+	seen := map[string]string{ref: "base"}
+	for field, k := range mutations {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s did not change the key (collides with %s)", field, prev)
+		}
+		seen[k] = field
+	}
+
+	r := base
+	r.DeadlineMS = 250
+	if key(KindSimulate, r) != ref {
+		t.Error("deadline changed the cache key; deadlines are policy, not content, and must share entries")
+	}
+}
+
+// TestCacheTamperRefusal: a sealed entry whose content was mutated behind
+// the cache's back is refused, evicted, counted, and recomputed — the
+// runstore contract applied to the artifact cache.
+func TestCacheTamperRefusal(t *testing.T) {
+	st := newStats()
+	c := newCache(8, st)
+	art := &Artifact{
+		Key:   "k1",
+		Class: fperr.ClassNone,
+		Resp:  &Response{Schema: ResponseSchema, Kind: KindCompile, Key: "k1", Class: "none"},
+	}
+	computes := 0
+	compute := func() (*Artifact, error) { computes++; return art, nil }
+
+	if _, cached, _ := c.do("k1", true, compute); cached {
+		t.Fatal("first do() reported a cache hit")
+	}
+	if _, cached, _ := c.do("k1", true, compute); !cached {
+		t.Fatal("second do() missed")
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+
+	// Flip a bit inside the sealed entry.
+	if !c.tamper("k1", func(a *Artifact) { a.Resp.Class = "internal" }) {
+		t.Fatal("entry to tamper not found")
+	}
+
+	fresh := &Artifact{Key: "k1", Class: fperr.ClassNone,
+		Resp: &Response{Schema: ResponseSchema, Kind: KindCompile, Key: "k1", Class: "none"}}
+	compute2 := func() (*Artifact, error) { computes++; return fresh, nil }
+	got, cached, _ := c.do("k1", true, compute2)
+	if cached {
+		t.Error("tampered entry was served from cache")
+	}
+	if computes != 2 {
+		t.Errorf("tampered entry did not trigger recomputation (computes=%d)", computes)
+	}
+	if got.Resp.Class != "none" {
+		t.Errorf("served class %q from tampered entry", got.Resp.Class)
+	}
+	if st.cacheTampered.Load() != 1 {
+		t.Errorf("cacheTampered = %d, want 1", st.cacheTampered.Load())
+	}
+	// The recomputed artifact replaced the tampered one and verifies.
+	if _, cached, _ := c.do("k1", true, func() (*Artifact, error) { t.Fatal("unexpected recompute"); return nil, nil }); !cached {
+		t.Error("recomputed entry not served from cache")
+	}
+}
+
+// TestCacheDoesNotStoreErrors: error-class artifacts are never cached —
+// a transient internal failure must not be pinned under a content key.
+func TestCacheDoesNotStoreErrors(t *testing.T) {
+	st := newStats()
+	c := newCache(8, st)
+	for _, class := range []fperr.Class{fperr.ClassUsage, fperr.ClassInput, fperr.ClassInternal, fperr.ClassUnavailable} {
+		computes := 0
+		compute := func() (*Artifact, error) {
+			computes++
+			return &Artifact{Key: "e", Class: class, Resp: &Response{Class: class.String()}}, nil
+		}
+		c.do("e", true, compute)
+		c.do("e", true, compute)
+		if computes != 2 {
+			t.Errorf("class %s: computes = %d, want 2 (errors are not cacheable)", class, computes)
+		}
+	}
+}
+
+// TestCacheBounded: the cache never exceeds its capacity.
+func TestCacheBounded(t *testing.T) {
+	st := newStats()
+	c := newCache(4, st)
+	for i := 0; i < 32; i++ {
+		key := strings.Repeat("k", i+1)
+		c.do(key, true, func() (*Artifact, error) {
+			return &Artifact{Key: key, Class: fperr.ClassNone, Resp: &Response{Key: key, Class: "none"}}, nil
+		})
+	}
+	if n := c.len(); n > 4 {
+		t.Errorf("cache grew to %d entries, cap 4", n)
+	}
+	if st.cacheEntries.Load() != int64(c.len()) {
+		t.Errorf("entries gauge %d != live count %d", st.cacheEntries.Load(), c.len())
+	}
+}

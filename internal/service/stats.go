@@ -1,0 +1,70 @@
+package service
+
+import (
+	"io"
+	"sync/atomic"
+
+	"fpint/internal/fperr"
+	"fpint/internal/obs"
+)
+
+// stats is the daemon's operational counter set. obs.Registry is not
+// concurrency-safe, so the live counters are atomics; Render builds a
+// fresh registry per /statsz request and hands it to the deterministic
+// registry encoders. Every counter is emitted even at zero, so the
+// /statsz key set is stable from the first request — the golden test pins
+// it.
+type stats struct {
+	accepted  atomic.Int64
+	shed      atomic.Int64
+	completed atomic.Int64
+	panics    atomic.Int64
+
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	cacheTampered atomic.Int64
+	cacheEntries  atomic.Int64
+
+	// outcomes counts terminal responses per fperr class, indexed by the
+	// class value (the slice is sized once from fperr.Classes).
+	outcomes []atomic.Int64
+
+	draining atomic.Bool
+}
+
+func newStats() *stats {
+	return &stats{outcomes: make([]atomic.Int64, len(fperr.Classes()))}
+}
+
+// outcome records one terminal response of the given class.
+func (s *stats) outcome(c fperr.Class) {
+	if i := int(c); i >= 0 && i < len(s.outcomes) {
+		s.outcomes[i].Add(1)
+	}
+}
+
+// render builds the /statsz registry snapshot.
+func (s *stats) render() *obs.Registry {
+	reg := obs.NewRegistry()
+	p := obs.PrefixService
+	reg.Counter(p + obs.MetricServiceAccepted).Add(s.accepted.Load())
+	reg.Counter(p + obs.MetricServiceShed).Add(s.shed.Load())
+	reg.Counter(p + obs.MetricServiceCompleted).Add(s.completed.Load())
+	reg.Counter(p + obs.MetricServicePanicsRecovered).Add(s.panics.Load())
+	reg.Counter(p + obs.MetricServiceCacheHits).Add(s.cacheHits.Load())
+	reg.Counter(p + obs.MetricServiceCacheMisses).Add(s.cacheMisses.Load())
+	reg.Counter(p + obs.MetricServiceCacheTampered).Add(s.cacheTampered.Load())
+	reg.Gauge(p + obs.MetricServiceCacheEntries).Set(float64(s.cacheEntries.Load()))
+	for _, c := range fperr.Classes() {
+		reg.Counter(p + obs.MetricServiceOutcomePrefix + c.String()).Add(s.outcomes[c].Load())
+	}
+	d := 0.0
+	if s.draining.Load() {
+		d = 1
+	}
+	reg.Gauge(p + obs.MetricServiceDraining).Set(d)
+	return reg
+}
+
+// writeJSON streams the snapshot as the registry's JSON document.
+func (s *stats) writeJSON(w io.Writer) error { return s.render().WriteJSON(w) }

@@ -90,6 +90,12 @@ type Machine struct {
 
 	maxSteps int64
 
+	// Cooperative cancellation (see SetRunHook). Reset preserves the hook,
+	// like Trace; hookLeft is the per-run countdown to the next check.
+	hook      func(steps int64) error
+	hookEvery int64
+	hookLeft  int64
+
 	// res is the machine-owned Result returned by Run; it is overwritten by
 	// the next Reset/Run of this machine.
 	res *Result
@@ -98,6 +104,12 @@ type Machine struct {
 	// preserves the callback.
 	Trace func(Event)
 }
+
+// DefaultHookInterval is the step cadence used by SetRunHook when the
+// caller passes every <= 0: frequent enough that a deadline abort lands
+// within microseconds of host time, rare enough to be invisible in the
+// steady-state dispatch cost.
+const DefaultHookInterval = 1024
 
 // NewMachine builds an unbound machine. Call Reset to load a program.
 func NewMachine() *Machine {
@@ -135,6 +147,7 @@ func (m *Machine) Reset(prog *isa.Program) {
 	m.PC = 0
 	m.out = m.out[:0]
 	m.maxSteps = 4_000_000_000
+	m.hookLeft = m.hookEvery
 	byOp := m.res.Stats.ByOp
 	clear(byOp)
 	*m.res = Result{Stats: Stats{ByOp: byOp}}
@@ -146,6 +159,23 @@ func (m *Machine) Reset(prog *isa.Program) {
 
 // SetStepLimit bounds the dynamic instruction count.
 func (m *Machine) SetStepLimit(n int64) { m.maxSteps = n }
+
+// SetRunHook installs a cooperative cancellation check: hook is called
+// every `every` dynamic instructions (DefaultHookInterval when every <= 0)
+// with the current step count, and a non-nil return aborts the run with
+// that error — conventionally a trap.KindCancelled trap, so deadline aborts
+// travel the same structured-trap path as the step-limit watchdog. The hook
+// is preserved across Reset (like Trace); a nil hook clears it. The check
+// itself allocates nothing, keeping a warm machine's steady state
+// allocation-free even with a hook armed.
+func (m *Machine) SetRunHook(hook func(steps int64) error, every int64) {
+	if every <= 0 {
+		every = DefaultHookInterval
+	}
+	m.hook = hook
+	m.hookEvery = every
+	m.hookLeft = every
+}
 
 func (m *Machine) storeWord(addr int64, w uint64) {
 	for i := 0; i < 8; i++ {
@@ -234,6 +264,15 @@ func (m *Machine) Run() (*Result, error) {
 		steps++
 		if steps > m.maxSteps {
 			return nil, trap.New(trap.KindStepLimit, "sim", "step limit exceeded at PC %d", m.PC)
+		}
+		if m.hook != nil {
+			m.hookLeft--
+			if m.hookLeft <= 0 {
+				m.hookLeft = m.hookEvery
+				if err := m.hook(steps); err != nil {
+					return nil, err
+				}
+			}
 		}
 
 		ev = Event{PC: m.PC, Op: in.Op, IsDup: in.IsDup, Dst: noRegEnc, Src1: noRegEnc, Src2: noRegEnc}

@@ -21,6 +21,13 @@ const (
 	KindDivideByZero      // integer division or remainder with zero divisor
 	KindOutOfBounds       // memory access outside the arena
 	KindStepLimit         // dynamic instruction budget exhausted
+	// KindCancelled is raised by the cooperative run hook (SetRunHook on the
+	// execution engines) when an external authority — a daemon deadline, a
+	// client disconnect, a shutting-down worker — aborts the run between
+	// steps. It shares the watchdog discipline of KindStepLimit: the engine
+	// stops at a step boundary with its state intact, and the abort surfaces
+	// as a structured trap rather than a goroutine kill.
+	KindCancelled
 )
 
 var kindNames = [...]string{
@@ -28,6 +35,7 @@ var kindNames = [...]string{
 	KindDivideByZero: "divide-by-zero",
 	KindOutOfBounds:  "out-of-bounds",
 	KindStepLimit:    "step-limit",
+	KindCancelled:    "cancelled",
 }
 
 // String names the kind.

@@ -118,6 +118,7 @@ func TestTrapStringsStable(t *testing.T) {
 		trap.KindDivideByZero: "divide-by-zero",
 		trap.KindOutOfBounds:  "out-of-bounds",
 		trap.KindStepLimit:    "step-limit",
+		trap.KindCancelled:    "cancelled",
 	}
 	for k, name := range want {
 		if k.String() != name {

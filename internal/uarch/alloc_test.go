@@ -23,18 +23,22 @@ func TestPipelineZeroSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
-		for _, timeline := range []bool{false, true} {
-			name := cfg.Name
-			if timeline {
-				name += "/timeline"
-			}
+		for _, variant := range []string{"bare", "timeline", "hook"} {
+			name := cfg.Name + "/" + variant
 			t.Run(name, func(t *testing.T) {
 				m := uarch.NewMachine(cfg)
-				if timeline {
+				switch variant {
+				case "timeline":
 					// The flight recorder must not cost the hot loop any
 					// allocations either: its window columns are recycled
 					// across runs like every other machine buffer.
 					m.SetTimelineWidth(256)
+				case "hook":
+					// Neither may the cooperative cancellation hook the
+					// daemon arms on every job: the periodic check runs
+					// inside the steady-state loop and must stay free.
+					m.SetRunHook(func(int64) error { return nil }, 256)
+					m.SetStepLimit(1 << 40)
 				}
 				// Warm up: first run grows the ROB columns, pending buffer,
 				// stats map, and timeline columns to their steady-state

@@ -1,0 +1,137 @@
+package uarch_test
+
+import (
+	"errors"
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/trap"
+	"fpint/internal/uarch"
+)
+
+// compileLoop builds the shared loop workload once per test.
+func compileLoop(t *testing.T) *codegen.Result {
+	t.Helper()
+	res, _, err := codegen.CompileSource(loopSrc, codegen.Options{Scheme: codegen.SchemeAdvanced})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+// TestRunHookCancelsDetailedRun pins the cooperative-cancellation contract
+// on the detailed model: a hook that trips after N steps aborts the run
+// with the trap it returned, at a step boundary, and the machine remains
+// fully usable — the next run on the same warm machine must match a fresh
+// machine bit for bit.
+func TestRunHookCancelsDetailedRun(t *testing.T) {
+	res := compileLoop(t)
+	cfg := uarch.Config4Way()
+
+	fresh, freshSt, err := uarch.Run(res.Prog, cfg)
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	freshRet, freshCycles := fresh.Ret, freshSt.Cycles
+
+	m := uarch.NewMachine(cfg)
+	var calls int
+	var lastSteps int64
+	m.SetRunHook(func(steps int64) error {
+		calls++
+		lastSteps = steps
+		if calls >= 3 {
+			return trap.New(trap.KindCancelled, "sim", "deadline exceeded after %d steps", steps)
+		}
+		return nil
+	}, 100)
+	_, _, err = m.Run(res.Prog)
+	if got := trap.KindOf(err); got != trap.KindCancelled {
+		t.Fatalf("cancelled run classified %v (err=%v), want cancelled", got, err)
+	}
+	var tr *trap.Trap
+	if !errors.As(err, &tr) {
+		t.Fatalf("cancellation did not surface as a structured trap: %v", err)
+	}
+	if calls != 3 || lastSteps != 300 {
+		t.Errorf("hook cadence wrong: %d calls, last at step %d (want 3 calls, step 300)", calls, lastSteps)
+	}
+
+	// The machine must survive its own cancellation: clear the hook and the
+	// same warm machine must reproduce the fresh-machine run exactly.
+	m.SetRunHook(nil, 0)
+	out, st, err := m.Run(res.Prog)
+	if err != nil {
+		t.Fatalf("post-cancel run: %v", err)
+	}
+	if out.Ret != freshRet || st.Cycles != freshCycles {
+		t.Errorf("post-cancel run differs from fresh: ret %d vs %d, cycles %d vs %d",
+			out.Ret, freshRet, st.Cycles, freshCycles)
+	}
+}
+
+// TestRunHookCancelsSampledRun: the fast mode is driven by the same
+// functional step loop, so the identical hook mechanism must abort it too.
+func TestRunHookCancelsSampledRun(t *testing.T) {
+	res := compileLoop(t)
+	m := uarch.NewMachine(uarch.Config4Way())
+	m.SetRunHook(func(steps int64) error {
+		return trap.New(trap.KindCancelled, "sim", "cancelled at %d", steps)
+	}, 64)
+	_, _, err := m.RunSampled(res.Prog, uarch.SampleConfig{})
+	if got := trap.KindOf(err); got != trap.KindCancelled {
+		t.Fatalf("sampled run classified %v (err=%v), want cancelled", got, err)
+	}
+}
+
+// TestMachineStepBudget: a machine-level step budget must behave exactly
+// like the functional simulator's own watchdog — a KindStepLimit trap —
+// and must keep applying across runs of the reused machine (the functional
+// Reset restores the default limit; the machine re-arms its budget).
+func TestMachineStepBudget(t *testing.T) {
+	res := compileLoop(t)
+	m := uarch.NewMachine(uarch.Config8Way())
+	m.SetStepLimit(50)
+	for i := 0; i < 2; i++ {
+		_, _, err := m.Run(res.Prog)
+		if got := trap.KindOf(err); got != trap.KindStepLimit {
+			t.Fatalf("run %d: budgeted run classified %v (err=%v), want step-limit", i, got, err)
+		}
+	}
+	// Lifting the budget restores unbounded runs.
+	m.SetStepLimit(0)
+	if _, _, err := m.Run(res.Prog); err != nil {
+		t.Fatalf("unbudgeted run after budget lift: %v", err)
+	}
+	// The budget also bounds the sampled fast path.
+	m.SetStepLimit(50)
+	_, _, err := m.RunSampled(res.Prog, uarch.SampleConfig{})
+	if got := trap.KindOf(err); got != trap.KindStepLimit {
+		t.Fatalf("sampled budgeted run classified %v (err=%v), want step-limit", got, err)
+	}
+}
+
+// TestRunHookNeutralWhenIdle: an armed hook that never trips must not
+// perturb the simulation — cycles, stats, and output stay bit-identical to
+// a hook-free run.
+func TestRunHookNeutralWhenIdle(t *testing.T) {
+	res := compileLoop(t)
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		bare, bareSt, err := uarch.Run(res.Prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: bare run: %v", cfg.Name, err)
+		}
+		m := uarch.NewMachine(cfg)
+		m.SetRunHook(func(int64) error { return nil }, 128)
+		hooked, hookedSt, err := m.Run(res.Prog)
+		if err != nil {
+			t.Fatalf("%s: hooked run: %v", cfg.Name, err)
+		}
+		if hooked.Ret != bare.Ret || hooked.Output != bare.Output {
+			t.Errorf("%s: hooked functional result differs", cfg.Name)
+		}
+		if hookedSt.Cycles != bareSt.Cycles || hookedSt.StallBySub != bareSt.StallBySub {
+			t.Errorf("%s: hooked timing differs: %d cycles vs %d", cfg.Name, hookedSt.Cycles, bareSt.Cycles)
+		}
+	}
+}

@@ -25,6 +25,11 @@ type Machine struct {
 	// across runs so arming it keeps the zero-allocation property.
 	rec     *TimelineRecorder
 	tlWidth int64
+
+	// stepLimit, when > 0, bounds every run's dynamic instruction count;
+	// it is re-applied after each functional Reset (which restores the
+	// simulator's own 4e9 default).
+	stepLimit int64
 }
 
 // NewMachine builds a reusable functional+timing machine for cfg.
@@ -37,12 +42,39 @@ func NewMachine(cfg Config) *Machine {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// SetStepLimit bounds the dynamic instruction count of every subsequent
+// run (0 restores the functional simulator's default). Exceeding the
+// budget aborts the run with a trap.KindStepLimit trap — the same watchdog
+// the standalone functional simulator uses, so a daemon can thread a
+// per-job step budget into a warm machine without rebuilding it.
+func (m *Machine) SetStepLimit(n int64) { m.stepLimit = n }
+
+// SetRunHook installs a cooperative cancellation check on the underlying
+// functional simulator: hook runs every `every` dynamic instructions
+// during Run, RunProfiled, RunInjected, and RunSampled (all of which are
+// driven by the functional step loop), and a non-nil return aborts the run
+// with that error — conventionally a trap.KindCancelled trap. Arming a
+// hook keeps the warm machine's zero-allocation steady state (pinned by
+// TestPipelineZeroSteadyStateAllocs).
+func (m *Machine) SetRunHook(hook func(steps int64) error, every int64) {
+	m.fm.SetRunHook(hook, every)
+}
+
+// applyBudget re-applies the machine-level step budget after a functional
+// Reset (the run hook survives Reset on its own).
+func (m *Machine) applyBudget() {
+	if m.stepLimit > 0 {
+		m.fm.SetStepLimit(m.stepLimit)
+	}
+}
+
 // Run executes prog functionally while driving the timing model, returning
 // both the functional result and the timing statistics.
 func (m *Machine) Run(prog *isa.Program) (*sim.Result, Stats, error) {
 	m.pipe.Reset()
 	m.armTimeline()
 	m.fm.Reset(prog)
+	m.applyBudget()
 	res, err := m.fm.Run()
 	if err != nil {
 		return nil, Stats{}, err
@@ -58,6 +90,7 @@ func (m *Machine) RunProfiled(prog *isa.Program) (*sim.Result, Stats, *CycleProf
 	m.armTimeline()
 	prof := m.pipe.AttachProfile()
 	m.fm.Reset(prog)
+	m.applyBudget()
 	res, err := m.fm.Run()
 	if err != nil {
 		return nil, Stats{}, nil, err
@@ -77,6 +110,7 @@ func (m *Machine) RunInjected(prog *isa.Program, plan *faultinject.Plan) (*sim.R
 	prof := m.pipe.AttachProfile()
 	m.pipe.AttachFaults(plan)
 	m.fm.Reset(prog)
+	m.applyBudget()
 	res, err := m.fm.Run()
 	if err != nil {
 		return nil, Stats{}, nil, err

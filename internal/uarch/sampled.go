@@ -299,6 +299,7 @@ func (m *Machine) RunSampled(prog *isa.Program, sc SampleConfig) (*sim.Result, S
 	m.armTimeline()
 	s := newSampler(m.pipe, sc)
 	m.fm.Reset(prog)
+	m.applyBudget()
 	m.fm.Trace = s.feed
 	res, err := m.fm.Run()
 	m.fm.Trace = m.pipe.Feed
