@@ -12,6 +12,8 @@
 //	fpibench -faultsweep     # per-scheme fault-sensitivity sweep (both configs)
 //	fpibench -hostmetrics    # also print per-experiment host-side cost (wall, allocs, GC)
 //	fpibench -fast -fig9     # sampled-timing sweep: bounded-error cycle estimates, much faster
+//	fpibench -oracle-gap     # greedy-vs-optimal partition gap per workload, both configs (gated)
+//	fpibench -calibrate -calib-out CALIB.json  # fit o_copy/o_dupl against measured cycles
 //
 // Exit codes: 0 success, 1 usage error, 2 input error (e.g. an unreadable
 // baseline file), 3 an experiment failed, 5 a -baseline comparison found a
@@ -66,6 +68,9 @@ func fpibenchMain() error {
 		hostMetrics   = flag.Bool("hostmetrics", false, "also print a per-experiment host-side cost table (wall time, allocations, GC)")
 		fastMode      = flag.Bool("fast", false, "run cycle experiments in the sampled-timing fast mode (bounded-error sweep; incompatible with baselines and fault sweeps)")
 		fastPeriod    = flag.Int("fast-period", 0, "with -fast: sampling period in units, one in N measured (0 = default)")
+		oracleGap     = flag.Bool("oracle-gap", false, "greedy-vs-optimal partition gap per workload on both configurations (gated: profit dominance must hold and the exact search must complete)")
+		calibrate     = flag.Bool("calibrate", false, "fit the cost-model constants o_copy/o_dupl against measured cycle deltas on both configurations")
+		calibOut      = flag.String("calib-out", "", "with -calibrate: write the fpint-calib/v1 JSON document to the given file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *faultRate <= 0 || *faultRate > 1 {
@@ -80,8 +85,14 @@ func fpibenchMain() error {
 		if *faultsw {
 			return fperr.New(fperr.ClassUsage, "-fast does not support -faultsweep; fault injection needs the detailed model")
 		}
+		if *oracleGap || *calibrate {
+			return fperr.New(fperr.ClassUsage, "-fast does not support -oracle-gap/-calibrate; both gate on exact detailed cycles")
+		}
 	}
-	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance || *faultsw || *analysisDelta || *phases)
+	if *calibOut != "" && !*calibrate {
+		return fperr.New(fperr.ClassUsage, "-calib-out requires -calibrate")
+	}
+	all := !(*table1 || *table2 || *fig8 || *fig9 || *fig10 || *overheads || *fpprogs || *loads || *slices || *imbalance || *faultsw || *analysisDelta || *phases || *oracleGap || *calibrate)
 	if *baseline != "" && all {
 		// Baseline mode defaults to exactly the cycle-bearing experiments.
 		all, *fig9, *fig10, *fpprogs = false, true, true, true
@@ -172,6 +183,14 @@ func fpibenchMain() error {
 	if all || *analysisDelta {
 		run("Static-analysis payoff (analysis off vs on)", printAnalysisDelta)
 	}
+	if (all && !*fastMode) || *oracleGap {
+		run("Greedy-vs-optimal partition gap (exact oracle)", printOracleGap)
+	}
+	if (all && !*fastMode) || *calibrate {
+		run("Cost-model self-calibration (o_copy/o_dupl fit)", func(c *ctx) error {
+			return printCalibration(c, *calibOut)
+		})
+	}
 	if all || *faultsw {
 		fc := faultinject.Config{Seed: *faultSeed, Kind: faultinject.KindAny, Rate: *faultRate}
 		run("Fault sensitivity (robustness sweep)", func(c *ctx) error {
@@ -241,6 +260,66 @@ func printAnalysisDelta(c *ctx) error {
 			"4way off", "4way on", "8way off", "8way on"}, out)
 	}
 	c.note("\nStatic %% is the profile-weighted FPa share of partitionable weight. The\nanalyses unpin provably in-bounds load/store addresses; the basic scheme\n(no copies) benefits most, the advanced cost model keeps only profitable\nslices. Functional results are interpreter-checked on every run.")
+	return nil
+}
+
+// printOracleGap reports the greedy-vs-optimal partition gap per workload
+// on both Table 1 machines and gates on the oracle's invariants: the
+// exact search must complete within the default limits and the optimal
+// profit must dominate the greedy profit on every row.
+func printOracleGap(c *ctx) error {
+	var all []bench.OracleGapRow
+	for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+		rows, err := c.s.OracleGaps(bench.IntWorkloads(), cfg)
+		if err != nil {
+			return err
+		}
+		c.record("oracle_gap_"+cfg.Name, "oracle", rows)
+		if !c.quiet {
+			fmt.Print(bench.OracleGapTable(rows))
+		}
+		all = append(all, rows...)
+	}
+	c.note("\nProfit is the §6.1 cost-model total (profile-weight units; configuration-\nindependent). A positive gap is offload the greedy heuristic missed; the\ncycle delta shows what the exact partition is worth on the detailed model.\nThe gate fails on any dominance violation or degraded (non-exact) search.")
+	return bench.GateOracleGaps(all)
+}
+
+// printCalibration fits o_copy/o_dupl per machine configuration against
+// measured simulator cycle deltas and reports the fpint-calib/v1 result.
+func printCalibration(c *ctx, calibOut string) error {
+	cfgs := []uarch.Config{uarch.Config4Way(), uarch.Config8Way()}
+	calib, err := c.s.Calibrate(bench.IntWorkloads(), cfgs)
+	if err != nil {
+		return err
+	}
+	c.record("calibration", "cost model", calib.Configs)
+	var out [][]string
+	for _, f := range calib.Configs {
+		rng := "outside paper range"
+		if f.InPaperRange {
+			rng = "in paper range"
+		}
+		out = append(out, []string{f.Config,
+			fmt.Sprintf("%.1f", f.OCopy),
+			fmt.Sprintf("%.1f", f.ODupl),
+			fmt.Sprintf("%.3f", f.CyclesPerProfit),
+			fmt.Sprintf("%.3f", f.R2),
+			rng})
+	}
+	c.table([]string{"Config", "o_copy", "o_dupl", "cycles/profit", "R^2", "Paper: o_copy in [3,6], o_dupl in [1.5,3]"}, out)
+	for _, f := range calib.Configs {
+		if p, ok := calib.Params(f.Config); ok {
+			c.note("%s: partitions built from this fit carry audit note %q", f.Config, "cost model: "+p.Provenance)
+		}
+	}
+	if calibOut != "" {
+		if err := writeTo(calibOut, calib.WriteJSON); err != nil {
+			return fperr.Wrap(fperr.ClassInput, err)
+		}
+		if calibOut != "-" {
+			c.note("wrote %s document to %s", bench.CalibVersion, calibOut)
+		}
+	}
 	return nil
 }
 

@@ -63,7 +63,7 @@ func main() {
 
 func fpicMain() error {
 	var (
-		schemeName   = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced")
+		schemeName   = flag.String("scheme", "advanced", "partitioning scheme: none, basic, advanced, balanced, optimal")
 		analysisMode = flag.String("analysis", "off", "consult the alias/value-range analyses to unpin provably safe load/store addresses: on or off")
 		dumpIR       = flag.Bool("dump-ir", false, "print the optimized IR")
 		dumpRDG      = flag.Bool("dump-rdg", false, "print each function's register dependence graph")
@@ -74,6 +74,8 @@ func fpicMain() error {
 		workload     = flag.String("workload", "", "compile a named built-in workload instead of a file")
 		ocopy        = flag.Float64("ocopy", 4, "copy overhead o_copy (paper: 3-6)")
 		odupl        = flag.Float64("odupl", 2, "duplicate overhead o_dupl (paper: 1.5-3)")
+		calib        = flag.String("calib", "", "load fitted cost constants from a fpint-calib/v1 JSON document (fpibench -calibrate -calib-out), overriding -ocopy/-odupl")
+		calibConfig  = flag.String("calib-config", "4-way", "with -calib: machine configuration whose fit to use")
 		lines        = flag.Bool("lines", false, "print a line-annotated disassembly (PC, source line, subsystem, IR op)")
 		explain      = flag.Bool("explain", false, "print the partition-decision audit trail per function")
 		passes       = flag.Bool("passes", false, "print per-pass timing and IR instruction deltas")
@@ -117,8 +119,28 @@ func fpicMain() error {
 		scheme = codegen.SchemeAdvanced
 	case "balanced":
 		scheme = codegen.SchemeBalanced
+	case "optimal":
+		scheme = codegen.SchemeOptimal
 	default:
 		return fperr.New(fperr.ClassUsage, "unknown scheme %q", *schemeName)
+	}
+
+	cost := core.CostParams{OCopy: *ocopy, ODupl: *odupl}
+	if *calib != "" {
+		f, err := os.Open(*calib)
+		if err != nil {
+			return fperr.Wrap(fperr.ClassInput, err)
+		}
+		doc, err := bench.LoadCalibration(f)
+		f.Close()
+		if err != nil {
+			return fperr.Wrapf(fperr.ClassInput, err, "%s", *calib)
+		}
+		p, ok := doc.Params(*calibConfig)
+		if !ok {
+			return fperr.New(fperr.ClassInput, "%s: no fit for configuration %q", *calib, *calibConfig)
+		}
+		cost = p
 	}
 
 	quiet := *jsonOut == "-"
@@ -157,16 +179,21 @@ func fpicMain() error {
 				case codegen.SchemeBasic:
 					p = core.BasicPartition(g)
 				case codegen.SchemeAdvanced, codegen.SchemeBalanced:
-					p = core.AdvancedPartition(g, core.CostParams{OCopy: *ocopy, ODupl: *odupl})
+					p = core.AdvancedPartition(g, cost)
+				case codegen.SchemeOptimal:
+					p, _ = core.OptimalPartition(g, cost, core.OracleLimits{}, nil)
 				}
 				fmt.Print(core.DotGraph(g, p))
 			}
 			if *dumpPart && scheme != codegen.SchemeNone {
 				var p *core.Partition
-				if scheme == codegen.SchemeBasic {
+				switch scheme {
+				case codegen.SchemeBasic:
 					p = core.BasicPartition(g)
-				} else {
-					p = core.AdvancedPartition(g, core.CostParams{OCopy: *ocopy, ODupl: *odupl})
+				case codegen.SchemeOptimal:
+					p, _ = core.OptimalPartition(g, cost, core.OracleLimits{}, nil)
+				default:
+					p = core.AdvancedPartition(g, cost)
 				}
 				fmt.Printf("==== partition of %s (%s) ====\n", fn.Name, p.Scheme)
 				for _, n := range g.Nodes {
@@ -195,7 +222,7 @@ func fpicMain() error {
 	}
 
 	res, err := codegen.CompileWithFallback(mod, codegen.Options{Scheme: scheme, Profile: prof,
-		Cost: core.CostParams{OCopy: *ocopy, ODupl: *odupl}, PassLog: plog, Analysis: useAnalysis})
+		Cost: cost, PassLog: plog, Analysis: useAnalysis})
 	if err != nil {
 		return err
 	}

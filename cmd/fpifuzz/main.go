@@ -21,6 +21,11 @@
 // exit value) to demonstrate that the fast oracle catches it, persists it
 // as a crasher with a `// fast: on` header, and replays it.
 //
+// -optimal (on by default) adds the exact branch-and-bound partition
+// oracle as a scheme case: it must stay bit-exact with the reference and
+// its profit must dominate the advanced scheme's. Crashers found with it
+// carry a `// scheme: optimal` header and replay through the same case.
+//
 // -faults additionally runs every timed scheme case under seeded
 // transient-fault injection (rate -fault-rate) and asserts that each
 // detected-and-recovered run still produces architecturally correct output
@@ -58,6 +63,7 @@ func fpifuzzMain() error {
 		stmts        = flag.Int("stmts", 0, "statement budget per program (0 = default)")
 		traps        = flag.Bool("traps", false, "allow unguarded division (programs may trap; engines must agree)")
 		timing       = flag.Bool("timing", true, "also drive the cycle-level model on 4-way and 8-way configs")
+		optimal      = flag.Bool("optimal", true, "also run the exact branch-and-bound oracle scheme case")
 		reduce       = flag.Bool("reduce", true, "reduce failures to minimal reproducers")
 		out          = flag.String("out", "testdata/crashers", "directory for reproducer files")
 		inject       = flag.Bool("inject", false, "plant a partitioner bug (flipped component assignment) to demo the oracle")
@@ -77,6 +83,7 @@ func fpifuzzMain() error {
 
 	o := difftest.DefaultOptions()
 	o.Timing = *timing
+	o.Optimal = *optimal
 	useAnalysis, err := analysis.ParseOnOff(*analysisMode)
 	if err != nil {
 		return fperr.Wrap(fperr.ClassUsage, err)

@@ -9,6 +9,9 @@
 //	fpilint file.c...          # human-readable report
 //	fpilint -json file.c...    # SARIF-lite JSON report (byte-deterministic)
 //	fpilint -facts file.c      # dump the per-access analysis facts
+//	fpilint -oracle file.c...  # add partition-gap findings: components where
+//	                           # the greedy partitioner's profit falls short
+//	                           # of the exact branch-and-bound optimum
 //
 // Structural lints (unreachable blocks) run on pre-optimization IR — the
 // optimizer would delete the evidence. Value lints run on the same IR, with
@@ -101,7 +104,59 @@ func lintCostRejects(src string) ([]analysis.Diag, error) {
 	return ds, nil
 }
 
-func lintFile(path string) ([]analysis.Diag, error) {
+// lintPartitionGap compiles the program under the exact branch-and-bound
+// partition oracle and reports every RDG component where the greedy
+// (advanced) scheme left profit on the table — a concrete offload
+// opportunity the §6.1 heuristic missed — and every component whose exact
+// search was cut short, where optimality is merely uncertified.
+func lintPartitionGap(src string) ([]analysis.Diag, error) {
+	res, _, err := codegen.CompileSource(src, codegen.Options{
+		Scheme: codegen.SchemeOptimal, Analysis: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ds []analysis.Diag
+	names := make([]string, 0, len(res.Oracle))
+	for name := range res.Oracle {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep := res.Oracle[name]
+		p := res.Partitions[name]
+		if rep == nil || p == nil {
+			continue
+		}
+		for _, c := range rep.Components {
+			line := 0
+			if n := p.G.Nodes[c.MinNode]; n.Instr != nil {
+				line = n.Instr.Line
+			}
+			switch {
+			case !c.Exact:
+				ds = append(ds, analysis.Diag{
+					Fn:   name,
+					Line: line,
+					Code: analysis.CodePartitionGap,
+					Msg: fmt.Sprintf("component %d: optimality not certified (%s); greedy result kept at profit %.1f",
+						c.Component, c.Reason, c.GreedyProfit),
+				})
+			case c.Gap() > 1e-9:
+				ds = append(ds, analysis.Diag{
+					Fn:   name,
+					Line: line,
+					Code: analysis.CodePartitionGap,
+					Msg: fmt.Sprintf("greedy partition leaves profit %.1f on the table in component %d (greedy %.1f, optimal %.1f, %d flexible node(s))",
+						c.Gap(), c.Component, c.GreedyProfit, c.OptimalProfit, c.FlexNodes),
+				})
+			}
+		}
+	}
+	return ds, nil
+}
+
+func lintFile(path string, oracle bool) ([]analysis.Diag, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fperr.Wrap(fperr.ClassInput, err)
@@ -117,6 +172,13 @@ func lintFile(path string) ([]analysis.Diag, error) {
 		return nil, fperr.Wrap(fperr.ClassInput, err)
 	}
 	ds = append(ds, costDs...)
+	if oracle {
+		gapDs, err := lintPartitionGap(src)
+		if err != nil {
+			return nil, fperr.Wrap(fperr.ClassInput, err)
+		}
+		ds = append(ds, gapDs...)
+	}
 	analysis.SortDiags(ds)
 	return ds, nil
 }
@@ -176,10 +238,11 @@ func fpilintMain(w io.Writer) error {
 	var (
 		jsonOut = flag.Bool("json", false, "emit the findings as a SARIF-lite JSON document")
 		facts   = flag.Bool("facts", false, "dump per-access analysis facts instead of linting")
+		oracle  = flag.Bool("oracle", false, "also run the exact partition oracle and report greedy-vs-optimal partition gaps")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		return fperr.New(fperr.ClassUsage, "usage: fpilint [-json|-facts] file.c...")
+		return fperr.New(fperr.ClassUsage, "usage: fpilint [-json|-facts|-oracle] file.c...")
 	}
 
 	if *facts {
@@ -190,16 +253,16 @@ func fpilintMain(w io.Writer) error {
 		}
 		return nil
 	}
-	return lintReport(flag.Args(), *jsonOut, w)
+	return lintReport(flag.Args(), *jsonOut, *oracle, w)
 }
 
 // lintReport lints each file and writes the combined report — plain text or
 // the SARIF-lite document — to w.
-func lintReport(paths []string, jsonOut bool, w io.Writer) error {
+func lintReport(paths []string, jsonOut, oracle bool, w io.Writer) error {
 	doc := sarifDoc{Version: "fpilint/1"}
 	total := 0
 	for _, path := range paths {
-		ds, err := lintFile(path)
+		ds, err := lintFile(path, oracle)
 		if err != nil {
 			return err
 		}

@@ -44,7 +44,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // program to a golden file.
 func TestLintGoldenText(t *testing.T) {
 	var buf bytes.Buffer
-	if err := lintReport(testdataFiles(t), false, &buf); err != nil {
+	if err := lintReport(testdataFiles(t), false, false, &buf); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "fpilint.txt", buf.Bytes())
@@ -55,12 +55,12 @@ func TestLintGoldenText(t *testing.T) {
 func TestLintGoldenJSON(t *testing.T) {
 	files := testdataFiles(t)
 	var first bytes.Buffer
-	if err := lintReport(files, true, &first); err != nil {
+	if err := lintReport(files, true, false, &first); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
 		var again bytes.Buffer
-		if err := lintReport(files, true, &again); err != nil {
+		if err := lintReport(files, true, false, &again); err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(first.Bytes(), again.Bytes()) {
@@ -68,6 +68,36 @@ func TestLintGoldenJSON(t *testing.T) {
 		}
 	}
 	checkGolden(t, "fpilint.json", first.Bytes())
+}
+
+// TestLintOracleGoldenText locks the -oracle report (partition-gap
+// findings included) over every testdata program to a golden file.
+func TestLintOracleGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lintReport(testdataFiles(t), false, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fpilint.oracle.txt", buf.Bytes())
+}
+
+// TestLintOracleGoldenJSON locks the -oracle SARIF-lite report and
+// verifies it is byte-for-byte deterministic across runs — the oracle's
+// branch-and-bound search and memoization must not leak iteration order
+// into the diagnostics.
+func TestLintOracleGoldenJSON(t *testing.T) {
+	files := testdataFiles(t)
+	var first bytes.Buffer
+	if err := lintReport(files, true, true, &first); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := lintReport(files, true, true, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("fpilint -oracle -json output is not byte-deterministic")
+	}
+	checkGolden(t, "fpilint.oracle.json", first.Bytes())
 }
 
 // TestFactsSmoke exercises the facts dump path.

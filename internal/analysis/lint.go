@@ -23,6 +23,11 @@ const (
 	CodeDivByZero   = "div-by-zero"
 	CodeOutOfBounds = "out-of-bounds"
 	CodeCostReject  = "cost-rejected"
+	// CodePartitionGap marks an RDG component where the greedy (advanced)
+	// partitioner's profit falls short of the exact branch-and-bound
+	// optimum, or where the exact search was cut short so optimality is
+	// uncertified. Emitted by fpilint -oracle.
+	CodePartitionGap = "partition-gap"
 )
 
 // SortDiags orders findings deterministically: by function, line, rule, text.

@@ -22,6 +22,7 @@ const (
 	SchemeBasic                  // §5 basic partitioning
 	SchemeAdvanced               // §6 advanced partitioning
 	SchemeBalanced               // §6.6 extension: advanced + load-balance cap
+	SchemeOptimal                // exact branch-and-bound partition oracle
 )
 
 // String names the scheme.
@@ -33,6 +34,8 @@ func (s Scheme) String() string {
 		return "advanced"
 	case SchemeBalanced:
 		return "balanced"
+	case SchemeOptimal:
+		return "optimal"
 	}
 	return "conventional"
 }
@@ -80,6 +83,12 @@ type Options struct {
 	// partitions (fault injection, bypassing Validate); production callers
 	// leave it nil.
 	PartitionHook func(fn string, part *core.Partition)
+
+	// Oracle bounds SchemeOptimal's exact search per function (zero values
+	// select core.DefaultOracleLimits). Components that exceed the limits
+	// fall back to the greedy assignment and are reported degraded in
+	// Result.Oracle.
+	Oracle core.OracleLimits
 }
 
 // FuncStat records per-function compilation statistics.
@@ -100,6 +109,10 @@ type Result struct {
 	// failed and a simpler rung of the degradation ladder produced this
 	// result; nil for a direct compile.
 	Fallback *Fallback
+
+	// Oracle holds the per-function greedy-vs-optimal gap reports when the
+	// compile ran SchemeOptimal; nil otherwise.
+	Oracle map[string]*core.OracleReport
 }
 
 // Compile lowers an optimized IR module to an executable program, applying
@@ -151,6 +164,9 @@ func Compile(mod *ir.Module, opts Options) (*Result, error) {
 		facts = analysis.AnalyzeModule(mod)
 	}
 	graphs := make(map[string]*core.Graph)
+	// oracleMemo caches solved components across the module's functions by
+	// structural signature (SchemeOptimal only).
+	var oracleMemo *core.OracleMemo
 	for _, fn := range mod.Funcs {
 		var part *core.Partition
 		if opts.Scheme != SchemeNone {
@@ -174,6 +190,16 @@ func Compile(mod *ir.Module, opts Options) (*Result, error) {
 					frac = 0.5
 				}
 				part = core.BalancedPartition(g, opts.Cost, frac)
+			case SchemeOptimal:
+				if oracleMemo == nil {
+					oracleMemo = core.NewOracleMemo()
+				}
+				var rep *core.OracleReport
+				part, rep = core.OptimalPartition(g, opts.Cost, opts.Oracle, oracleMemo)
+				if res.Oracle == nil {
+					res.Oracle = make(map[string]*core.OracleReport)
+				}
+				res.Oracle[fn.Name] = rep
 			}
 			if err := part.Validate(); err != nil {
 				return nil, fmt.Errorf("codegen: partition invalid: %v", err)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"fpint/internal/core"
@@ -37,6 +38,8 @@ func (f *Fallback) MarshalJSON() ([]byte, error) {
 // compilation, which has no partitioner to fail.
 func ladder(s Scheme) []Scheme {
 	switch s {
+	case SchemeOptimal:
+		return []Scheme{SchemeOptimal, SchemeAdvanced, SchemeBasic, SchemeNone}
 	case SchemeBalanced:
 		return []Scheme{SchemeBalanced, SchemeAdvanced, SchemeBasic, SchemeNone}
 	case SchemeAdvanced:
@@ -136,9 +139,34 @@ func CompileSourceWithFallback(src string, opts Options) (*Result, *ir.Module, e
 // program in the result is correct either way; the error class exists so
 // scripts observe silent scheme downgrades (exit code 4).
 func (r *Result) DegradedError() error {
-	if r == nil || r.Fallback == nil {
+	if r == nil {
 		return nil
 	}
-	return fperr.New(fperr.ClassDegraded, "compiled with %s after %s failed: %s",
-		r.Fallback.Used, r.Fallback.Requested, strings.Join(r.Fallback.Causes, "; "))
+	if r.Fallback != nil {
+		return fperr.New(fperr.ClassDegraded, "compiled with %s after %s failed: %s",
+			r.Fallback.Used, r.Fallback.Requested, strings.Join(r.Fallback.Causes, "; "))
+	}
+	// SchemeOptimal compiles successfully even when the exact search hits
+	// its caps, but the result is then only greedy-optimal — surface that
+	// the same way a ladder fallback is surfaced (exit code 4).
+	var degraded []string
+	for _, name := range sortedReportNames(r.Oracle) {
+		if err := r.Oracle[name].Err(); err != nil {
+			degraded = append(degraded, err.Error())
+		}
+	}
+	if len(degraded) > 0 {
+		return fperr.New(fperr.ClassDegraded, "%s", strings.Join(degraded, "; "))
+	}
+	return nil
+}
+
+// sortedReportNames returns the oracle report keys in deterministic order.
+func sortedReportNames(m map[string]*core.OracleReport) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,7 +1,5 @@
 package core
 
-import "math"
-
 // CostParams are the cost-model constants of §6.1. The paper determined
 // empirically that o_copy between 3 and 6 and o_dupl between 1.5 and 3 give
 // the best results, and requires o_dupl < o_copy (otherwise nothing would
@@ -9,6 +7,12 @@ import "math"
 type CostParams struct {
 	OCopy float64
 	ODupl float64
+
+	// Provenance optionally records where the constants came from — e.g. a
+	// fpint-calib/v1 self-calibration fit instead of the paper's defaults.
+	// Schemes copy it into the partition audit trail so -explain output and
+	// compile reports show which cost model priced the decisions.
+	Provenance string `json:",omitempty"`
 }
 
 // DefaultCostParams returns the midpoint of the paper's empirical ranges.
@@ -23,41 +27,34 @@ func DefaultCostParams() CostParams { return CostParams{OCopy: 4, ODupl: 2} }
 // of integer call arguments / return values pay an FPa→INT copy if they
 // stay in FPa.
 func AdvancedPartition(g *Graph, params CostParams) *Partition {
-	if params.OCopy <= 0 {
-		params = DefaultCostParams()
-	}
+	return advancedPartition(newCostModel(g, params))
+}
+
+// advancedPartition runs the advanced scheme over an already-built cost
+// model (the oracle and the calibration loop reuse the model across runs).
+func advancedPartition(cm *costModel) *Partition {
 	a := &advancedState{
-		g:      g,
-		params: params,
-		inINT:  make([]bool, len(g.Nodes)),
+		costModel: cm,
+		inINT:     make([]bool, len(cm.g.Nodes)),
 	}
 	a.initINT()
-	a.computeTransferCosts()
 	a.phase1()
 	a.phase2()
 	return a.finish()
 }
 
 type advancedState struct {
-	g      *Graph
-	params CostParams
+	// costModel supplies the graph, the parameters, and the §6.2
+	// copy/duplicate costs — the same pricing path the oracle and the
+	// calibration use.
+	*costModel
 
 	// inINT[v] — node currently assigned to the INT partition. FixedFP
 	// nodes are never members of either partition.
 	inINT []bool
 
-	// copyCost/dupCost per node (§6.2 prepass).
-	copyCost []float64
-	dupCost  []float64
-
 	// audit records the phase-2 component decisions.
 	audit *Audit
-}
-
-func (a *advancedState) count(v NodeID) float64 { return a.g.Nodes[v].Count }
-
-func (a *advancedState) partitionable(v NodeID) bool {
-	return a.g.Nodes[v].Class != ClassFixedFP
 }
 
 func (a *advancedState) inFPa(v NodeID) bool {
@@ -88,60 +85,6 @@ func (a *advancedState) initINT() {
 			a.inINT[v] = true
 		}
 	}
-}
-
-// computeTransferCosts runs the §6.2 prepass:
-//
-//	copy_cost(v)  = o_copy * n_B(v)
-//	dupl_cost(v)  = o_dupl * n_B(v) + Σ_i min(copy_cost(u_i), dupl_cost(u_i))
-//
-// iterated to a fixpoint from dupl_cost = ∞. Load-value nodes have no
-// parent term (their duplicate re-loads through the INT-side address, which
-// is where backward slices stop). Parameter dummies cannot be duplicated —
-// the value only materializes in an integer register.
-func (a *advancedState) computeTransferCosts() {
-	n := len(a.g.Nodes)
-	a.copyCost = make([]float64, n)
-	a.dupCost = make([]float64, n)
-	for _, nd := range a.g.Nodes {
-		a.copyCost[nd.ID] = a.params.OCopy * nd.Count
-		a.dupCost[nd.ID] = math.Inf(1)
-	}
-	for iter := 0; iter < 20; iter++ {
-		changed := false
-		for _, nd := range a.g.Nodes {
-			if nd.Class == ClassFixedFP || nd.Kind == KindParam ||
-				nd.Kind == KindCall || nd.Kind == KindRet || nd.Kind == KindJump {
-				continue // not duplicable
-			}
-			c := a.params.ODupl * nd.Count
-			if nd.Kind != KindLoadVal {
-				for _, p := range nd.Parents {
-					if !a.partitionable(p) {
-						continue
-					}
-					c += math.Min(a.copyCost[p], a.dupCost[p])
-				}
-			}
-			if c < a.dupCost[nd.ID]-1e-9 {
-				a.dupCost[nd.ID] = c
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-}
-
-// transferOverhead is min(copy, dup) — the cheapest way to make v's value
-// available in FPa while v executes in INT.
-func (a *advancedState) transferOverhead(v NodeID) float64 {
-	return math.Min(a.copyCost[v], a.dupCost[v])
-}
-
-func (a *advancedState) preferDup(v NodeID) bool {
-	return a.dupCost[v] < a.copyCost[v]
 }
 
 // phase1 expands the INT boundary (§6.3 lines 2–15). For each candidate
@@ -269,49 +212,10 @@ func (a *advancedState) phase1() {
 	}
 }
 
-// transferSet computes, for the current assignment, the set of INT-side
-// definitions that must be made FPa-available: every INT node with an FPa
-// child, closed under duplicate operand requirements (a duplicated node's
-// INT parents must themselves be transferred).
+// transferSet derives the copy/duplicate sets for the current assignment
+// through the shared cost model.
 func (a *advancedState) transferSet() (copies, dups map[NodeID]bool) {
-	copies = make(map[NodeID]bool)
-	dups = make(map[NodeID]bool)
-	var work []NodeID
-	need := make(map[NodeID]bool)
-	add := func(v NodeID) {
-		if !need[v] {
-			need[v] = true
-			work = append(work, v)
-		}
-	}
-	for _, n := range a.g.Nodes {
-		if !a.partitionable(n.ID) || !a.inINT[n.ID] {
-			continue
-		}
-		for _, c := range n.Children {
-			if a.inFPa(c) {
-				add(n.ID)
-				break
-			}
-		}
-	}
-	for len(work) > 0 {
-		v := work[len(work)-1]
-		work = work[:len(work)-1]
-		if a.preferDup(v) {
-			dups[v] = true
-			if a.g.Nodes[v].Kind != KindLoadVal {
-				for _, p := range a.g.Nodes[v].Parents {
-					if a.partitionable(p) && a.inINT[p] {
-						add(p)
-					}
-				}
-			}
-		} else {
-			copies[v] = true
-		}
-	}
-	return copies, dups
+	return a.costModel.transferSet(a.inINT)
 }
 
 // phase2 tentatively introduces the copies and duplicates implied by the
@@ -486,6 +390,9 @@ func (a *advancedState) finish() *Partition {
 		}
 	}
 	p.Audit = a.audit
+	if a.params.Provenance != "" {
+		p.Audit.Notes = append(p.Audit.Notes, "cost model: "+a.params.Provenance)
+	}
 	attachUnpins(p)
 	return p
 }

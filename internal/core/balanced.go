@@ -104,20 +104,22 @@ func BalancedPartition(g *Graph, params CostParams, maxFPaFraction float64) *Par
 		}
 	}
 
-	// Recompute the transfer sets for the reduced assignment.
-	a := &advancedState{g: g, params: params, inINT: make([]bool, len(g.Nodes))}
-	a.computeTransferCosts()
+	// Recompute the transfer sets for the reduced assignment through the
+	// shared cost model — the same pricing path the advanced scheme and the
+	// oracle use.
+	cm := newCostModel(g, params)
+	inINT := make([]bool, len(g.Nodes))
 	for _, n := range g.Nodes {
 		if n.Class != ClassFixedFP {
-			a.inINT[n.ID] = p.Assign[n.ID] == SubINT
+			inINT[n.ID] = p.Assign[n.ID] == SubINT
 		}
 	}
-	copies, dups := a.transferSet()
+	copies, dups := cm.transferSet(inINT)
 	p.CopyNodes = copies
 	p.DupNodes = dups
 	p.OutCopyNodes = make(map[NodeID]bool)
 	for _, n := range g.Nodes {
-		if a.inFPa(n.ID) && n.IsActualArg {
+		if cm.partitionable(n.ID) && !inINT[n.ID] && n.IsActualArg {
 			p.OutCopyNodes[n.ID] = true
 		}
 	}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpint/internal/fperr"
+	"fpint/internal/ir"
+)
+
+// randomGraph generates a small synthetic RDG: a random DAG over a mix of
+// flexible plain/branch/load-value nodes, pinned integer nodes (mul/div
+// stand-ins), call nodes, and parameter dummies. Structural conventions
+// match BuildGraph: parameter dummies and branches have no incoming /
+// outgoing value edges respectively, and IsActualArg marks parents of
+// call nodes.
+func randomGraph(r *rand.Rand, n int) *Graph {
+	g := &Graph{Fn: &ir.Func{Name: "synthetic"}}
+	for i := 0; i < n; i++ {
+		var kind NodeKind
+		var class Class
+		switch roll := r.Intn(100); {
+		case roll < 50:
+			kind, class = KindPlain, ClassFlex
+		case roll < 62:
+			kind, class = KindBranch, ClassFlex
+		case roll < 72:
+			kind, class = KindLoadVal, ClassFlex
+		case roll < 84:
+			kind, class = KindPlain, ClassPinInt // integer mul/div stand-in
+		case roll < 94:
+			kind, class = KindCall, ClassPinInt
+		default:
+			kind, class = KindParam, ClassPinInt
+		}
+		g.Nodes = append(g.Nodes, &Node{
+			ID:    NodeID(i),
+			Kind:  kind,
+			Class: class,
+			Count: float64(r.Intn(40)+1) * 0.5,
+		})
+	}
+	for i := 0; i < n; i++ {
+		src := g.Nodes[i]
+		if src.Kind == KindBranch {
+			continue // branches produce no register value
+		}
+		for j := i + 1; j < n; j++ {
+			dst := g.Nodes[j]
+			if dst.Kind == KindParam {
+				continue // parameter dummies are pure definitions
+			}
+			if r.Intn(100) < 22 {
+				src.Children = append(src.Children, dst.ID)
+				dst.Parents = append(dst.Parents, src.ID)
+			}
+		}
+	}
+	for _, nd := range g.Nodes {
+		for _, c := range nd.Children {
+			if k := g.Nodes[c].Kind; k == KindCall || k == KindRet {
+				nd.IsActualArg = true
+				break
+			}
+		}
+	}
+	return g
+}
+
+func randomParams(r *rand.Rand) CostParams {
+	return CostParams{
+		OCopy: 3 + 3*r.Float64(),     // paper range [3, 6]
+		ODupl: 1.5 + 1.5*r.Float64(), // paper range [1.5, 3]
+	}
+}
+
+// legalSet reports whether the FPa set marked in inFPa is legal: every
+// member's non-FixedFP child is either in the set or a call/return node.
+func legalSet(g *Graph, inFPa []bool) bool {
+	for _, nd := range g.Nodes {
+		if !inFPa[nd.ID] {
+			continue
+		}
+		for _, c := range nd.Children {
+			cn := g.Nodes[c]
+			if cn.Class == ClassFixedFP || inFPa[c] {
+				continue
+			}
+			if cn.Kind != KindCall && cn.Kind != KindRet {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bruteForceOptimal enumerates every legal FPa subset of the eligible
+// nodes and returns the maximum §6.1 profit, priced through the same cost
+// model as the oracle.
+func bruteForceOptimal(t *testing.T, g *Graph, params CostParams) float64 {
+	t.Helper()
+	cm := newCostModel(g, params)
+	eligible := oracleEligible(g)
+	var ids []NodeID
+	for _, nd := range g.Nodes {
+		if eligible[nd.ID] {
+			ids = append(ids, nd.ID)
+		}
+	}
+	if len(ids) > 16 {
+		t.Fatalf("brute force over %d eligible nodes is unreasonable", len(ids))
+	}
+	inFPa := make([]bool, len(g.Nodes))
+	inINT := make([]bool, len(g.Nodes))
+	best := 0.0
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		for i, id := range ids {
+			inFPa[id] = mask&(1<<i) != 0
+		}
+		if !legalSet(g, inFPa) {
+			continue
+		}
+		for _, nd := range g.Nodes {
+			if nd.Class != ClassFixedFP {
+				inINT[nd.ID] = !inFPa[nd.ID]
+			}
+		}
+		benefit, overhead := cm.priceAssignment(inINT)
+		if p := benefit - overhead; p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// TestOracleMatchesBruteForce is the satellite property test: on small
+// random RDGs the branch-and-bound oracle must find exactly the
+// brute-force optimum, produce a verifier-clean partition whose priced
+// profit equals the reported one, and dominate the greedy profit.
+func TestOracleMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		n := 3 + r.Intn(10) // ≤ 12 offloadable nodes
+		g := randomGraph(r, n)
+		params := randomParams(r)
+
+		p, report := OptimalPartition(g, params, OracleLimits{}, nil)
+		if report.Degraded != 0 {
+			t.Fatalf("trial %d: oracle degraded on a %d-node graph", trial, n)
+		}
+		if err := VerifyPartition(p); err != nil {
+			t.Fatalf("trial %d: oracle partition fails the verifier: %v", trial, err)
+		}
+
+		want := bruteForceOptimal(t, g, params)
+		if math.Abs(report.OptimalProfit-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: oracle profit %.12f != brute force %.12f (gap %g)",
+				trial, report.OptimalProfit, want, report.OptimalProfit-want)
+		}
+		if report.OptimalProfit < report.GreedyProfit-1e-9 {
+			t.Fatalf("trial %d: oracle profit %.12f below greedy %.12f",
+				trial, report.OptimalProfit, report.GreedyProfit)
+		}
+
+		// The reported profit must equal the §6.1 price of the partition
+		// actually returned.
+		cm := newCostModel(g, params)
+		inINT := make([]bool, len(g.Nodes))
+		for _, nd := range g.Nodes {
+			if nd.Class != ClassFixedFP {
+				inINT[nd.ID] = p.Assign[nd.ID] == SubINT
+			}
+		}
+		benefit, overhead := cm.priceAssignment(inINT)
+		if got := benefit - overhead; math.Abs(got-report.OptimalProfit) > 1e-9 {
+			t.Fatalf("trial %d: partition prices to %.12f but report says %.12f",
+				trial, got, report.OptimalProfit)
+		}
+	}
+}
+
+// TestOracleBoundAdmissible checks the pruning bound directly: for random
+// propagated partial assignments, the upper bound must dominate the profit
+// of every legal completion — i.e. the bound never prunes the optimum.
+func TestOracleBoundAdmissible(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 150; trial++ {
+		g := randomGraph(r, 3+r.Intn(10))
+		params := randomParams(r)
+		cm := newCostModel(g, params)
+		eligible := oracleEligible(g)
+		comp := undirectedComponents(g)
+
+		nComp := 0
+		for _, c := range comp {
+			if c >= nComp {
+				nComp = c + 1
+			}
+		}
+		members := make([][]NodeID, nComp)
+		for _, nd := range g.Nodes {
+			if c := comp[nd.ID]; c >= 0 {
+				members[c] = append(members[c], nd.ID)
+			}
+		}
+		for c := 0; c < nComp; c++ {
+			var vars []NodeID
+			for _, id := range members[c] {
+				if eligible[id] {
+					vars = append(vars, id)
+				}
+			}
+			if len(vars) == 0 {
+				continue
+			}
+			scratch := make([]bool, len(g.Nodes))
+			budget := int64(1 << 30)
+			pricer := newCompPricer(cm, members[c])
+			b := newBBState(cm, pricer, scratch, vars, &budget)
+
+			// Random partial assignment via the real propagation.
+			for i := range b.vars {
+				if b.status[i] != stUndec || r.Intn(3) == 0 {
+					continue
+				}
+				val := uint8(stIn)
+				if r.Intn(2) == 0 {
+					val = stOut
+				}
+				mark := len(b.trail)
+				if !b.propagate(i, val) {
+					b.undo(mark)
+				}
+			}
+			ub := b.upperBound()
+
+			// Enumerate every completion of the undecided variables and
+			// keep the best legal profit.
+			var undec []int
+			for i := range b.vars {
+				if b.status[i] == stUndec {
+					undec = append(undec, i)
+				}
+			}
+			if len(undec) > 16 {
+				t.Fatalf("trial %d: %d undecided vars", trial, len(undec))
+			}
+			inFPa := make([]bool, len(g.Nodes))
+			best := math.Inf(-1)
+			for mask := 0; mask < 1<<len(undec); mask++ {
+				for i := range b.vars {
+					inFPa[b.vars[i]] = b.status[i] == stIn
+				}
+				for k, i := range undec {
+					if mask&(1<<k) != 0 {
+						inFPa[b.vars[i]] = true
+					}
+				}
+				if !legalSet(g, inFPa) {
+					continue
+				}
+				if p := pricer.price(inFPa).Profit(); p > best {
+					best = p
+				}
+			}
+			if !math.IsInf(best, -1) && ub < best-1e-9 {
+				t.Fatalf("trial %d comp %d: upper bound %.12f below a reachable completion %.12f",
+					trial, c, ub, best)
+			}
+		}
+	}
+}
+
+// TestOracleDegradedFallback covers both caps: an over-wide component
+// (node-count cap) and an exhausted expansion budget. Both must keep a
+// verifier-clean partition whose profit still dominates greedy, and
+// surface ClassDegraded through the report.
+func TestOracleDegradedFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// A long chain of flexible nodes: one component, 40 eligible nodes.
+	g := &Graph{Fn: &ir.Func{Name: "wide"}}
+	for i := 0; i < 40; i++ {
+		g.Nodes = append(g.Nodes, &Node{ID: NodeID(i), Kind: KindPlain, Class: ClassFlex, Count: float64(i%7) + 1})
+		if i > 0 {
+			g.Nodes[i-1].Children = append(g.Nodes[i-1].Children, NodeID(i))
+			g.Nodes[i].Parents = append(g.Nodes[i].Parents, NodeID(i-1))
+		}
+	}
+	p, report := OptimalPartition(g, DefaultCostParams(), OracleLimits{MaxFlexNodes: 30}, nil)
+	if report.Degraded != 1 {
+		t.Fatalf("want 1 degraded component, got %d", report.Degraded)
+	}
+	if err := VerifyPartition(p); err != nil {
+		t.Fatalf("degraded partition fails the verifier: %v", err)
+	}
+	if report.OptimalProfit < report.GreedyProfit {
+		t.Fatalf("degraded oracle profit %.2f below greedy %.2f", report.OptimalProfit, report.GreedyProfit)
+	}
+	if err := report.Err(); fperr.ClassOf(err) != fperr.ClassDegraded {
+		t.Fatalf("want ClassDegraded from report.Err(), got %v", err)
+	}
+
+	// Budget exhaustion on random graphs: never worse than greedy, always
+	// verifier-clean, always flagged.
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r, 12)
+		p, report := OptimalPartition(g, DefaultCostParams(), OracleLimits{MaxExpansions: 2}, nil)
+		if err := VerifyPartition(p); err != nil {
+			t.Fatalf("trial %d: budget-capped partition fails the verifier: %v", trial, err)
+		}
+		if report.OptimalProfit < report.GreedyProfit-1e-9 {
+			t.Fatalf("trial %d: capped profit %.12f below greedy %.12f",
+				trial, report.OptimalProfit, report.GreedyProfit)
+		}
+		if len(report.Components) > 0 && report.Degraded > 0 && report.Err() == nil {
+			t.Fatalf("trial %d: degraded report returned nil Err", trial)
+		}
+	}
+}
+
+// TestOracleMemo checks that the component-signature memo replays stored
+// optima: a second run over the same graph answers every component from
+// the cache with an identical partition and report.
+func TestOracleMemo(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r, 3+r.Intn(10))
+		params := randomParams(r)
+		memo := NewOracleMemo()
+
+		p1, rep1 := OptimalPartition(g, params, OracleLimits{}, memo)
+		hitsAfterFirst := memo.Hits()
+		p2, rep2 := OptimalPartition(g, params, OracleLimits{}, memo)
+
+		if len(rep1.Components) > 0 && memo.Hits() <= hitsAfterFirst {
+			t.Fatalf("trial %d: second run hit the memo %d times (first-run hits %d)",
+				trial, memo.Hits()-hitsAfterFirst, hitsAfterFirst)
+		}
+		if rep1.OptimalProfit != rep2.OptimalProfit {
+			t.Fatalf("trial %d: memo changed the profit: %.12f vs %.12f",
+				trial, rep1.OptimalProfit, rep2.OptimalProfit)
+		}
+		for id := range p1.Assign {
+			if p1.Assign[id] != p2.Assign[id] {
+				t.Fatalf("trial %d: memo changed the assignment of n%d", trial, id)
+			}
+		}
+		if err := VerifyPartition(p2); err != nil {
+			t.Fatalf("trial %d: memo-replayed partition fails the verifier: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package difftest
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestOptimalOracleCleanBaseline: with the exact-oracle scheme case on
+// (the default), generated programs must pass the whole oracle — the
+// branch-and-bound partition must be bit-exact with the reference
+// interpreter and verifier-clean on arbitrary programs, not just testdata,
+// and its accepted profit must dominate the advanced scheme's.
+func TestOptimalOracleCleanBaseline(t *testing.T) {
+	o := DefaultOptions()
+	if !o.Optimal {
+		t.Fatal("DefaultOptions does not enable the exact-oracle scheme case")
+	}
+	n := int64(10)
+	if testing.Short() {
+		n = 3
+	}
+	for s := int64(1); s <= n; s++ {
+		src := NewGenerator(s, DefaultGenConfig()).Program()
+		if err := Check(src, o); err != nil && !errors.Is(err, ErrSkip) {
+			t.Fatalf("seed %d: %v\n%s", s, err, src)
+		}
+	}
+}
+
+// TestOptimalCrasherRoundTrip: a failure found while the exact-oracle
+// scheme case was on must persist with the `// scheme: optimal` header and
+// the persisted file must auto-replay through an optimal-enabled oracle —
+// cleanly once the bug (the planted hook) is gone, and failing again when
+// the bug is re-planted, mirroring the fast-mode crasher workflow.
+func TestOptimalCrasherRoundTrip(t *testing.T) {
+	o := DefaultOptions()
+	o.Timing = false // the planted bug is functional; timing only slows the sweep
+	o.PartitionHook = InjectFlip
+
+	res := Sweep(1, 6, DefaultGenConfig(), o, true)
+	if len(res.Failures) == 0 {
+		t.Fatal("sweep did not catch the planted partitioner bug")
+	}
+	f := res.Failures[0]
+	if !f.Optimal {
+		t.Fatal("failure from an optimal-enabled sweep does not record Optimal")
+	}
+
+	dir := t.TempDir()
+	path, err := WriteCrasher(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	if !strings.Contains(body, "// scheme: optimal\n") {
+		t.Fatalf("crasher misses the optimal-scheme header:\n%s", body)
+	}
+
+	// Auto-replay: crasherOptions must keep the exact-oracle case on, and
+	// the file must replay clean without the planted hook (the "fixed"
+	// state TestReplayCrashers pins for every persisted crasher).
+	ro := crasherOptions(body)
+	if !ro.Optimal {
+		t.Fatal("crasherOptions did not enable the exact-oracle case from the header")
+	}
+	if err := Check(body, ro); err != nil && !errors.Is(err, ErrSkip) {
+		t.Errorf("optimal crasher does not replay clean without the planted bug: %v", err)
+	}
+
+	// And with the hook re-planted the replay must still fail — the file
+	// really does reproduce the bug it documents.
+	ro.PartitionHook = InjectFlip
+	ro.Timing = false
+	err = Check(body, ro)
+	if errors.Is(err, ErrSkip) {
+		t.Skip("reference step budget exhausted on replay")
+	}
+	var rm *Mismatch
+	if !errors.As(err, &rm) {
+		t.Errorf("replay with the planted bug did not reproduce a mismatch: %v", err)
+	}
+}

@@ -61,6 +61,11 @@ type Options struct {
 	Timing bool
 	// Interproc adds the advanced+InterprocFPArgs scheme case.
 	Interproc bool
+	// Optimal adds the exact-oracle scheme case: the branch-and-bound
+	// partition must be bit-exact with the reference interpreter, pass the
+	// static verifier, and its accepted profit must dominate the advanced
+	// scheme's (optimal ≥ advanced ≥ basic).
+	Optimal bool
 	// Analysis adds the basic+analysis and advanced+analysis scheme cases:
 	// partitioning sharpened by the alias/value-range address oracle. The
 	// runs must still match the reference interpreter exactly (unpinning an
@@ -99,7 +104,7 @@ type Options struct {
 
 // DefaultOptions enables every check.
 func DefaultOptions() Options {
-	return Options{Timing: true, Interproc: true, CheckProfit: true, Analysis: true}
+	return Options{Timing: true, Interproc: true, CheckProfit: true, Analysis: true, Optimal: true}
 }
 
 // Frontend runs parse → check → lower → optimize → verify without the
@@ -143,6 +148,13 @@ func (o *Options) cases() []schemeCase {
 		{name: "basic", opts: codegen.Options{Scheme: codegen.SchemeBasic}, time: true},
 		{name: "advanced", opts: codegen.Options{Scheme: codegen.SchemeAdvanced, Cost: o.Cost}, time: true},
 		{name: "balanced", opts: codegen.Options{Scheme: codegen.SchemeBalanced, Cost: o.Cost, MaxFPaFraction: frac}, time: true},
+	}
+	if o.Optimal {
+		cs = append(cs, schemeCase{
+			name: "optimal",
+			opts: codegen.Options{Scheme: codegen.SchemeOptimal, Cost: o.Cost},
+			time: true,
+		})
 	}
 	if o.Interproc {
 		cs = append(cs, schemeCase{
@@ -242,11 +254,16 @@ func Check(src string, o Options) error {
 	}
 
 	if o.CheckProfit && o.PartitionHook == nil {
-		if err := checkProfitDominance(audits["basic"], audits["advanced"]); err != nil {
+		if err := checkProfitDominance("basic", audits["basic"], "advanced", audits["advanced"]); err != nil {
 			return err
 		}
+		if o.Optimal {
+			if err := checkProfitDominance("advanced", audits["advanced"], "optimal", audits["optimal"]); err != nil {
+				return err
+			}
+		}
 		if o.Analysis {
-			if err := checkProfitDominance(audits["basic+analysis"], audits["advanced+analysis"]); err != nil {
+			if err := checkProfitDominance("basic+analysis", audits["basic+analysis"], "advanced+analysis", audits["advanced+analysis"]); err != nil {
 				return err
 			}
 		}
@@ -495,25 +512,28 @@ func collectAudits(res *codegen.Result) map[string]*core.Audit {
 	return out
 }
 
-// checkProfitDominance enforces the cost-model dominance argument: the
-// advanced scheme starts from everything offloadable in FPa and retreats
-// only where unprofitable, so per function its accepted audit profit must
-// be at least the basic scheme's (which can only take transfer-free
-// components). A small epsilon absorbs float summation order.
-func checkProfitDominance(basic, advanced map[string]*core.Audit) error {
-	if basic == nil || advanced == nil {
+// checkProfitDominance enforces one link of the cost-model dominance chain
+// optimal ≥ advanced ≥ basic: the stronger scheme (hi) explores a superset
+// of the weaker scheme's (lo) legal assignments — advanced starts from
+// everything offloadable and retreats only where unprofitable, where basic
+// can only take transfer-free components; the exact oracle seeds its
+// incumbent with the advanced result — so per function the stronger
+// scheme's accepted audit profit must be at least the weaker's. A small
+// epsilon absorbs float summation order.
+func checkProfitDominance(loName string, lo map[string]*core.Audit, hiName string, hi map[string]*core.Audit) error {
+	if lo == nil || hi == nil {
 		return nil
 	}
-	for fn, ba := range basic {
-		aa := advanced[fn]
-		if aa == nil {
+	for fn, la := range lo {
+		ha := hi[fn]
+		if ha == nil {
 			continue
 		}
-		bp := acceptedProfit(ba)
-		ap := acceptedProfit(aa)
-		if ap+1e-6+1e-9*math.Abs(bp) < bp {
-			return &Mismatch{Stage: "profit", Scheme: "advanced",
-				Detail: fmt.Sprintf("%s: advanced accepted profit %g below basic %g", fn, ap, bp)}
+		lp := acceptedProfit(la)
+		hp := acceptedProfit(ha)
+		if hp+1e-6+1e-9*math.Abs(lp) < lp {
+			return &Mismatch{Stage: "profit", Scheme: hiName,
+				Detail: fmt.Sprintf("%s: %s accepted profit %g below %s %g", fn, hiName, hp, loName, lp)}
 		}
 	}
 	return nil

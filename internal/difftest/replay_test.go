@@ -11,10 +11,12 @@ import (
 // crasherOptions derives the oracle options a persisted reproducer was
 // found under: the `// analysis: on|off` header line (written by
 // WriteCrasher) selects whether the analysis-sharpened scheme cases run, so
-// analysis-dependent partitions reproduce exactly, and `// fast: on` adds
-// the sampled-timing fast-mode stage for crashers the fast oracle found.
-// Crashers predating the headers keep the default (analysis on, fast off) —
-// a superset of the original scheme cases.
+// analysis-dependent partitions reproduce exactly, `// fast: on` adds the
+// sampled-timing fast-mode stage for crashers the fast oracle found, and
+// `// scheme: optimal` guarantees the exact-oracle scheme case runs for
+// crashers the branch-and-bound partition found. Crashers predating the
+// headers keep the default (analysis on, optimal on, fast off) — a superset
+// of the original scheme cases.
 func crasherOptions(src string) Options {
 	o := DefaultOptions()
 	for _, line := range strings.Split(src, "\n") {
@@ -28,6 +30,8 @@ func crasherOptions(src string) Options {
 			o.Analysis = false
 		case "fast: on":
 			o.FastTiming = true
+		case "scheme: optimal":
+			o.Optimal = true
 		}
 	}
 	return o

@@ -17,13 +17,16 @@ import (
 // Analysis records whether the sweep's oracle ran the analysis-sharpened
 // scheme cases, so a reduced crasher replays with the same partitions;
 // Fast records whether the sampled-timing fast-mode stage ran, so a
-// fast-found crasher replays through the fast oracle too.
+// fast-found crasher replays through the fast oracle too; Optimal records
+// whether the exact-oracle scheme case ran, so a crasher found by the
+// branch-and-bound partition replays through it as well.
 type Failure struct {
 	Seed     int64
 	Src      string
 	Err      error
 	Analysis bool
 	Fast     bool
+	Optimal  bool
 	Reduced  string // empty when reduction was skipped or did not apply
 }
 
@@ -51,7 +54,7 @@ func Sweep(seed int64, n int, gcfg GenConfig, o Options, reduce bool) SweepResul
 		if err == nil {
 			continue
 		}
-		f := Failure{Seed: s, Src: src, Err: err, Analysis: o.Analysis, Fast: o.FastTiming}
+		f := Failure{Seed: s, Src: src, Err: err, Analysis: o.Analysis, Fast: o.FastTiming, Optimal: o.Optimal}
 		if reduce {
 			f.Reduced = ReduceFailure(src, err, o)
 		}
@@ -113,6 +116,9 @@ func WriteCrasher(dir string, f Failure) (string, error) {
 	fmt.Fprintf(&sb, "// analysis: %s\n", analysisState)
 	if f.Fast {
 		fmt.Fprintf(&sb, "// fast: on\n")
+	}
+	if f.Optimal {
+		fmt.Fprintf(&sb, "// scheme: optimal\n")
 	}
 	for _, line := range strings.Split(strings.TrimRight(f.Err.Error(), "\n"), "\n") {
 		fmt.Fprintf(&sb, "// %s\n", line)

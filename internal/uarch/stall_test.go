@@ -73,7 +73,7 @@ func TestOccupancyHistogramsCoverEveryCycle(t *testing.T) {
 func TestStatsAddToRegistryInvariant(t *testing.T) {
 	_, st := compileAndTime(t, loopSrc, codegen.SchemeAdvanced, uarch.Config4Way())
 	r := obs.NewRegistry()
-	st.AddTo(r, "uarch.")
+	st.AddTo(r, obs.PrefixUarch)
 	var sb strings.Builder
 	if err := r.WriteJSON(&sb); err != nil {
 		t.Fatal(err)
@@ -86,12 +86,12 @@ func TestStatsAddToRegistryInvariant(t *testing.T) {
 	}
 	var stalls int64
 	for k, v := range doc.Counters {
-		if strings.HasPrefix(k, "uarch.stall.") {
+		if strings.HasPrefix(k, obs.PrefixUarch+"stall.") {
 			stalls += v
 		}
 	}
-	cycles := doc.Counters["uarch.cycles"]
-	active := doc.Counters["uarch.issue_active_cycles"]
+	cycles := doc.Counters[obs.PrefixUarch+obs.MetricCycles]
+	active := doc.Counters[obs.PrefixUarch+obs.MetricIssueActiveCycles]
 	if cycles == 0 || active+stalls != cycles {
 		t.Errorf("exported invariant broken: active %d + stalls %d != cycles %d", active, stalls, cycles)
 	}

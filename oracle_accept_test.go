@@ -1,0 +1,111 @@
+package fpint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpint/internal/codegen"
+	"fpint/internal/core"
+	"fpint/internal/interp"
+	"fpint/internal/uarch"
+)
+
+// TestOracleAcceptance is the ISSUE's root acceptance bar for the exact
+// partition oracle: every testdata program, on both Table 1 machine
+// configurations, must (1) produce an oracle partition the static
+// verifier accepts, (2) execute bit-identically to the IR interpreter,
+// and (3) respect the profit dominance chain optimal ≥ advanced ≥ basic
+// per function — the branch-and-bound seeds its incumbent with the
+// greedy result, so it can never return something worse.
+func TestOracleAcceptance(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".c")
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, prof, err := codegen.FrontendPipeline(string(data))
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+			ref, err := interp.New(mod).Run()
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+
+			profits := map[codegen.Scheme]map[string]float64{}
+			var optRes *codegen.Result
+			for _, scheme := range []codegen.Scheme{codegen.SchemeBasic, codegen.SchemeAdvanced, codegen.SchemeOptimal} {
+				res, err := codegen.Compile(mod, codegen.Options{Scheme: scheme, Profile: prof})
+				if err != nil {
+					t.Fatalf("%v: compile: %v", scheme, err)
+				}
+				fn := map[string]float64{}
+				for fname, p := range res.Partitions {
+					if p == nil || p.Audit == nil {
+						continue
+					}
+					var sum float64
+					for _, d := range p.Audit.Components {
+						if d.Accepted {
+							sum += d.Profit
+						}
+					}
+					fn[fname] = sum
+				}
+				profits[scheme] = fn
+				if scheme == codegen.SchemeOptimal {
+					optRes = res
+				}
+			}
+
+			// (1) Verifier-clean, and the oracle certified every component.
+			for fname, p := range optRes.Partitions {
+				if p == nil {
+					continue
+				}
+				if err := core.VerifyPartition(p); err != nil {
+					t.Errorf("%s: oracle partition rejected by verifier: %v", fname, err)
+				}
+			}
+			for fname, rep := range optRes.Oracle {
+				if rep.Degraded > 0 {
+					t.Errorf("%s: oracle degraded on %d component(s): %v", fname, rep.Degraded, rep.Err())
+				}
+			}
+
+			// (2) Interpreter-equal on both Table 1 machines.
+			for _, cfg := range []uarch.Config{uarch.Config4Way(), uarch.Config8Way()} {
+				out, st, err := uarch.Run(optRes.Prog, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.Name, err)
+				}
+				if out.Ret != ref.Ret || out.Output != ref.Output {
+					t.Errorf("%s: ret=%d want %d", cfg.Name, out.Ret, ref.Ret)
+				}
+				if st.Cycles <= 0 {
+					t.Errorf("%s: no cycles", cfg.Name)
+				}
+			}
+
+			// (3) Dominance per function: optimal ≥ advanced ≥ basic.
+			const eps = 1e-6
+			for fname, adv := range profits[codegen.SchemeAdvanced] {
+				if bas, ok := profits[codegen.SchemeBasic][fname]; ok && adv+eps < bas {
+					t.Errorf("%s: advanced profit %g below basic %g", fname, adv, bas)
+				}
+				if opt, ok := profits[codegen.SchemeOptimal][fname]; ok && opt+eps < adv {
+					t.Errorf("%s: optimal profit %g below advanced %g", fname, opt, adv)
+				}
+			}
+		})
+	}
+}

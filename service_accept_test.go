@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"fpint/internal/obs"
 	"fpint/internal/service"
 	"fpint/internal/service/loadgen"
 )
@@ -133,7 +134,7 @@ func TestServiceLoadgenChaos(t *testing.T) {
 	compareGoldenFile(t, filepath.Join("testdata", "golden", "fpintd.statsz.keys.txt"), strings.Join(keys, "\n")+"\n")
 
 	// And the counters tell the story the report told.
-	if doc.Counters["service.panics_recovered"] == "0" {
+	if doc.Counters[obs.PrefixService+obs.MetricServicePanicsRecovered] == "0" {
 		t.Error("statsz shows zero recovered panics after a chaos run that sent panic jobs")
 	}
 }

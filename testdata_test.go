@@ -44,6 +44,8 @@ func TestTestdataPrograms(t *testing.T) {
 				{Scheme: codegen.SchemeBalanced, MaxFPaFraction: 0.3},
 				{Scheme: codegen.SchemeBasic, Analysis: true},
 				{Scheme: codegen.SchemeAdvanced, Analysis: true},
+				{Scheme: codegen.SchemeOptimal},
+				{Scheme: codegen.SchemeOptimal, Analysis: true},
 			}
 			for _, opts := range optsList {
 				opts.Profile = prof
